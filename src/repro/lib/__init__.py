@@ -1,0 +1,46 @@
+"""The SPLAY standard libraries.
+
+These modules mirror the library stack in Figure 5 of the paper:
+
+* :mod:`repro.lib.serializer` — ``llenc`` + ``json``: message framing and
+  data-interchange encoding;
+* :mod:`repro.lib.rpc` — remote procedure calls (``call``, ``a_call``,
+  ``ping``, ``server``);
+* :mod:`repro.lib.sbsocket` — the restricted (sandboxed) socket layer;
+* :mod:`repro.lib.sbfs` — the sandboxed virtual filesystem;
+* :mod:`repro.lib.logging` — local and remote (collector-based) logging;
+* :mod:`repro.lib.crypto` — hashing and digest helpers;
+* :mod:`repro.lib.misc` — containers, conversions, timers and helpers;
+* :mod:`repro.lib.ring` — identifier-ring arithmetic (``between`` et al.).
+"""
+
+from repro.lib.ring import between, hash_key, ring_add, ring_distance
+from repro.lib.serializer import LLEncStream, decode, encode, estimate_size
+from repro.lib.rpc import RpcError, RpcService, RpcTimeout
+from repro.lib.sbfs import SandboxedFS, SandboxFSError
+from repro.lib.sbsocket import RestrictedSocket, SocketPolicy, SocketRestrictionError
+from repro.lib.logging import LogLevel, SplayLogger
+from repro.lib import crypto, misc
+
+__all__ = [
+    "LLEncStream",
+    "LogLevel",
+    "RestrictedSocket",
+    "RpcError",
+    "RpcService",
+    "RpcTimeout",
+    "SandboxFSError",
+    "SandboxedFS",
+    "SocketPolicy",
+    "SocketRestrictionError",
+    "SplayLogger",
+    "between",
+    "crypto",
+    "decode",
+    "encode",
+    "estimate_size",
+    "hash_key",
+    "misc",
+    "ring_add",
+    "ring_distance",
+]

@@ -1,0 +1,136 @@
+"""The ``log`` library: local and remote (collector-based) logging.
+
+"The log library allows the developer to print information either locally
+(screen, file) or, more interestingly, send it over the network to a log
+collector managed by the controller.  If need be, the amount of data sent to
+the log collector can be restricted by a splayd, as instructed by the
+controller."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+class LogLevel(enum.IntEnum):
+    """Log severity levels, ordered."""
+
+    DEBUG = 10
+    INFO = 20
+    WARN = 30
+    ERROR = 40
+
+    @classmethod
+    def coerce(cls, value: "LogLevel | str | int") -> "LogLevel":
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls[value.upper()]
+        return cls(value)
+
+
+@dataclass
+class LogRecord:
+    """One log entry produced by an application instance."""
+
+    time: float
+    level: LogLevel
+    source: str
+    message: str
+    job_id: Optional[int] = None
+
+
+@dataclass
+class LogBudget:
+    """Restriction on the amount of data an instance may ship to the collector."""
+
+    max_bytes: Optional[int] = None
+    sent_bytes: int = 0
+    dropped_records: int = 0
+
+    def admit(self, record_size: int) -> bool:
+        if self.max_bytes is not None and self.sent_bytes + record_size > self.max_bytes:
+            self.dropped_records += 1
+            return False
+        self.sent_bytes += record_size
+        return True
+
+
+class SplayLogger:
+    """Per-instance logger with local buffering and optional remote shipping.
+
+    Parameters
+    ----------
+    source:
+        Identifier of the emitting instance (e.g. ``"job3/10.0.0.7:30001"``).
+    level:
+        Minimum severity to record.
+    remote_sink:
+        Callable invoked with each admitted :class:`LogRecord`; the daemon
+        wires this to the controller's log collector.
+    budget:
+        Restriction (in bytes) on remote shipping, enforced by the daemon.
+    clock:
+        Callable returning the current virtual time.
+    """
+
+    def __init__(self, source: str, level: LogLevel | str = LogLevel.INFO,
+                 remote_sink: Optional[Callable[[LogRecord], None]] = None,
+                 budget: Optional[LogBudget] = None,
+                 clock: Callable[[], float] = lambda: 0.0,
+                 keep_local: int = 1000):
+        self.source = source
+        self.level = LogLevel.coerce(level)
+        self.remote_sink = remote_sink
+        self.budget = budget or LogBudget()
+        self.clock = clock
+        self.keep_local = keep_local
+        self.records: List[LogRecord] = []
+        self.enabled = True
+
+    # -------------------------------------------------------------- emitters
+    def log(self, level: LogLevel | str, message: Any) -> Optional[LogRecord]:
+        """Record ``message`` at ``level``; returns the record if admitted."""
+        if not self.enabled:
+            return None
+        level = LogLevel.coerce(level)
+        if level < self.level:
+            return None
+        record = LogRecord(time=self.clock(), level=level, source=self.source, message=str(message))
+        self.records.append(record)
+        if len(self.records) > self.keep_local:
+            del self.records[0]
+        if self.remote_sink is not None and self.budget.admit(len(record.message) + 32):
+            self.remote_sink(record)
+        return record
+
+    def debug(self, message: Any) -> Optional[LogRecord]:
+        return self.log(LogLevel.DEBUG, message)
+
+    def info(self, message: Any) -> Optional[LogRecord]:
+        return self.log(LogLevel.INFO, message)
+
+    def warn(self, message: Any) -> Optional[LogRecord]:
+        return self.log(LogLevel.WARN, message)
+
+    def error(self, message: Any) -> Optional[LogRecord]:
+        return self.log(LogLevel.ERROR, message)
+
+    print = info  # the paper's applications use log.print
+
+    # --------------------------------------------------------------- control
+    def set_level(self, level: LogLevel | str) -> None:
+        """Dynamically adjust the minimum severity."""
+        self.level = LogLevel.coerce(level)
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def tail(self, count: int = 10) -> List[LogRecord]:
+        """The last ``count`` locally buffered records."""
+        return self.records[-count:]

@@ -1,0 +1,189 @@
+"""The restricted socket layer (``sb_socket``).
+
+The wrapped socket library "includes a security layer that can be controlled
+by the local administrator ... and further restricted remotely by the
+controller.  This secure layer allows us to limit: (1) the total bandwidth
+available for SPLAY applications; (2) the maximum number of sockets used by
+an application and (3) the addresses that an application can or cannot
+connect to."  The library is also the place where an artificial drop rate can
+be injected to emulate lossy links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.core.blacklist import Blacklist
+from repro.lib.serializer import estimate_size
+from repro.net.address import Address, NodeRef
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.events_api import AppContext
+from repro.sim.futures import Future
+from repro.sim.rng import substream
+
+
+class SocketRestrictionError(Exception):
+    """Raised when an operation would violate the socket policy."""
+
+
+@dataclass
+class SocketPolicy:
+    """Restrictions applied to one application instance's networking.
+
+    ``max_total_bytes`` caps the cumulative traffic (the paper limits the
+    *total* bandwidth available to applications and kills I/O beyond it);
+    ``max_sockets`` caps concurrently open sockets/listeners; ``drop_rate``
+    emulates lossy links; ``blacklist`` holds forbidden addresses or masks.
+    """
+
+    max_total_bytes: Optional[int] = None
+    max_sockets: Optional[int] = None
+    drop_rate: float = 0.0
+    blacklist: Optional[Blacklist] = None
+
+    def merged_with(self, stricter: "SocketPolicy") -> "SocketPolicy":
+        """Combine with controller-imposed restrictions (stricter wins)."""
+        return SocketPolicy(
+            max_total_bytes=_stricter_limit(self.max_total_bytes, stricter.max_total_bytes),
+            max_sockets=_stricter_limit(self.max_sockets, stricter.max_sockets),
+            drop_rate=max(self.drop_rate, stricter.drop_rate),
+            blacklist=self.blacklist or stricter.blacklist,
+        )
+
+
+def _stricter_limit(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+@dataclass
+class SocketStats:
+    """Per-instance traffic accounting, read by the sandbox and the daemon."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    messages_refused: int = 0
+    messages_dropped_locally: int = 0
+
+
+class RestrictedSocket:
+    """The application-facing socket API.
+
+    One instance is bound to one application endpoint.  All higher-level
+    communication (the RPC library, application message passing, bulk
+    transfers) goes through it, so the policy is enforced uniformly.
+    """
+
+    def __init__(self, network: Network, context: AppContext, local: Address,
+                 policy: Optional[SocketPolicy] = None, seed: int = 0):
+        self.network = network
+        self.context = context
+        self.local = local
+        self.policy = policy or SocketPolicy()
+        self.stats = SocketStats()
+        self._handlers: List[Callable[[Message], Any]] = []
+        self._listening = False
+        self._open_sockets = 0
+        self._rng = substream(seed, "sbsocket", str(local))
+        self._closed = False
+
+    # ------------------------------------------------------------- listening
+    def listen(self, handler: Callable[[Message], Any]) -> None:
+        """Register ``handler`` for incoming messages on the local endpoint."""
+        self._check_closed()
+        self._handlers.append(handler)
+        if not self._listening:
+            self._charge_socket()
+            self.network.listen(self.local, self._dispatch, context=self.context)
+            self._listening = True
+
+    def _dispatch(self, message: Message) -> None:
+        self.stats.messages_received += 1
+        self.stats.bytes_received += message.size
+        for handler in list(self._handlers):
+            handler(message)
+
+    # ---------------------------------------------------------------- sending
+    def send(self, dst: "Address | NodeRef | dict | str", payload: Any,
+             size: Optional[int] = None, kind: str = "data") -> Future:
+        """Send one message to ``dst``; returns the network delivery future."""
+        self._check_closed()
+        dst_address = _coerce_address(dst)
+        size = size if size is not None else estimate_size(payload)
+        self._enforce_destination(dst_address)
+        self._enforce_budget(size)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size
+        if self.policy.drop_rate > 0 and self._rng.random() < self.policy.drop_rate:
+            # Locally injected loss (lossy-link emulation requested at deploy time).
+            self.stats.messages_dropped_locally += 1
+            dropped = Future(name="sbsocket.drop")
+            dropped.set_result(False)
+            return dropped
+        return self.network.send(self.local, dst_address, payload, size, kind=kind)
+
+    def transfer(self, dst: "Address | NodeRef | dict | str", nbytes: float) -> Future:
+        """Bulk transfer (charged against the traffic budget)."""
+        self._check_closed()
+        dst_address = _coerce_address(dst)
+        self._enforce_destination(dst_address)
+        self._enforce_budget(int(nbytes))
+        self._charge_socket()
+        self.stats.bytes_sent += int(nbytes)
+        future = self.network.transfer(self.local, dst_address, nbytes)
+        future.add_done_callback(lambda _f: self._release_socket())
+        return future
+
+    # ----------------------------------------------------------- enforcement
+    def _enforce_destination(self, dst: Address) -> None:
+        blacklist = self.policy.blacklist
+        if blacklist is not None and blacklist.is_forbidden(dst.ip):
+            self.stats.messages_refused += 1
+            raise SocketRestrictionError(f"destination is blacklisted: {dst.ip}")
+
+    def _enforce_budget(self, size: int) -> None:
+        limit = self.policy.max_total_bytes
+        if limit is not None and self.stats.bytes_sent + size > limit:
+            self.stats.messages_refused += 1
+            raise SocketRestrictionError(
+                f"network budget exceeded: {self.stats.bytes_sent + size} > {limit} bytes")
+
+    def _charge_socket(self) -> None:
+        limit = self.policy.max_sockets
+        if limit is not None and self._open_sockets + 1 > limit:
+            raise SocketRestrictionError(f"too many open sockets (limit {limit})")
+        self._open_sockets += 1
+
+    def _release_socket(self) -> None:
+        self._open_sockets = max(0, self._open_sockets - 1)
+
+    def _check_closed(self) -> None:
+        if self._closed or not self.context.alive:
+            raise SocketRestrictionError("socket is closed")
+
+    # ------------------------------------------------------------------ close
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._listening:
+            self.network.unlisten(self.local)
+            self._listening = False
+        self._handlers.clear()
+
+    @property
+    def open_sockets(self) -> int:
+        return self._open_sockets
+
+
+def _coerce_address(value: "Address | NodeRef | dict | str") -> Address:
+    if isinstance(value, Address):
+        return value
+    return NodeRef.coerce(value).address

@@ -1,0 +1,203 @@
+"""Flow-level bandwidth model (max-min fair sharing of access links).
+
+Bulk data transfers (BitTorrent pieces, tree-dissemination blocks, web cache
+objects) are simulated at flow level: every host has an uplink and a downlink
+capacity, and the rates of all concurrent transfers are the max-min fair
+allocation over those access links.  Rates are recomputed whenever a transfer
+starts or completes, which is exact for this link model and fast enough for
+the paper's experiment sizes (tens to a few hundred concurrent flows).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.futures import Future
+from repro.sim.kernel import ScheduledEvent, Simulator
+
+#: capacity used for hosts without an explicit limit (effectively unlimited)
+UNLIMITED_BPS = 1e15
+
+_transfer_ids = itertools.count(1)
+
+
+class Transfer:
+    """One in-flight bulk transfer."""
+
+    __slots__ = ("transfer_id", "src_ip", "dst_ip", "total_bytes", "remaining_bytes",
+                 "rate_bps", "started_at", "done", "cancelled")
+
+    def __init__(self, src_ip: str, dst_ip: str, nbytes: float, started_at: float):
+        self.transfer_id = next(_transfer_ids)
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.total_bytes = float(nbytes)
+        self.remaining_bytes = float(nbytes)
+        self.rate_bps = 0.0
+        self.started_at = started_at
+        #: completes with the finish time (seconds) once all bytes are delivered
+        self.done: Future = Future(name=f"transfer-{self.transfer_id}")
+        self.cancelled = False
+
+    @property
+    def duration_so_far(self) -> float:
+        return self.total_bytes - self.remaining_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Transfer #{self.transfer_id} {self.src_ip}->{self.dst_ip} "
+                f"{self.remaining_bytes:.0f}/{self.total_bytes:.0f}B @{self.rate_bps:.0f}bps>")
+
+
+class BandwidthModel:
+    """Max-min fair sharing of per-host uplink/downlink capacities."""
+
+    def __init__(self, sim: Simulator, default_uplink_bps: Optional[float] = None,
+                 default_downlink_bps: Optional[float] = None):
+        self.sim = sim
+        self.default_uplink_bps = default_uplink_bps or UNLIMITED_BPS
+        self.default_downlink_bps = default_downlink_bps or UNLIMITED_BPS
+        self._capacities: Dict[str, Tuple[float, float]] = {}
+        self._active: List[Transfer] = []
+        self._last_update = 0.0
+        self._completion_event: Optional[ScheduledEvent] = None
+        #: completed transfer count (for stats/tests)
+        self.completed = 0
+
+    # ------------------------------------------------------------- capacities
+    def set_capacity(self, ip: str, uplink_bps: Optional[float], downlink_bps: Optional[float]) -> None:
+        """Set the access-link capacities of host ``ip`` (``None`` = unlimited)."""
+        up = uplink_bps if uplink_bps and uplink_bps > 0 else UNLIMITED_BPS
+        down = downlink_bps if downlink_bps and downlink_bps > 0 else UNLIMITED_BPS
+        self._capacities[ip] = (up, down)
+
+    def capacity(self, ip: str) -> Tuple[float, float]:
+        return self._capacities.get(ip, (self.default_uplink_bps, self.default_downlink_bps))
+
+    # --------------------------------------------------------------- transfers
+    def transfer(self, src_ip: str, dst_ip: str, nbytes: float) -> Transfer:
+        """Start a bulk transfer of ``nbytes`` bytes; returns its :class:`Transfer`."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        transfer = Transfer(src_ip, dst_ip, nbytes, self.sim.now)
+        if nbytes == 0:
+            transfer.done.set_result(self.sim.now)
+            self.completed += 1
+            return transfer
+        self._advance_progress()
+        self._active.append(transfer)
+        self._reallocate()
+        return transfer
+
+    def cancel_transfer(self, transfer: Transfer) -> None:
+        """Abort an in-flight transfer (its future is cancelled)."""
+        if transfer.done.done():
+            return
+        self._advance_progress()
+        transfer.cancelled = True
+        if transfer in self._active:
+            self._active.remove(transfer)
+        transfer.done.cancel()
+        self._reallocate()
+
+    def cancel_host(self, ip: str) -> int:
+        """Abort every transfer with ``ip`` as source or destination (host failure)."""
+        victims = [t for t in self._active if ip in (t.src_ip, t.dst_ip)]
+        for transfer in victims:
+            self.cancel_transfer(transfer)
+        return len(victims)
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._active)
+
+    def current_rate(self, transfer: Transfer) -> float:
+        """The instantaneous allocated rate of ``transfer`` in bits/second."""
+        return transfer.rate_bps
+
+    # --------------------------------------------------------------- internals
+    def _advance_progress(self) -> None:
+        """Account for the bytes sent since the last rate change."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            for transfer in self._active:
+                transfer.remaining_bytes -= transfer.rate_bps * elapsed / 8.0
+                if transfer.remaining_bytes < 1e-6:
+                    transfer.remaining_bytes = 0.0
+        self._last_update = now
+
+    def _reallocate(self) -> None:
+        """Recompute max-min fair rates and schedule the next completion."""
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+
+        # Complete any transfer that has no bytes left.
+        finished = [t for t in self._active if t.remaining_bytes <= 0.0]
+        if finished:
+            for transfer in finished:
+                self._active.remove(transfer)
+                transfer.done.set_result(self.sim.now)
+                self.completed += 1
+
+        if not self._active:
+            return
+
+        rates = self._max_min_fair_rates(self._active)
+        for transfer, rate in zip(self._active, rates):
+            transfer.rate_bps = rate
+
+        next_finish = min(
+            (t.remaining_bytes * 8.0 / t.rate_bps) for t in self._active if t.rate_bps > 0
+        )
+        next_finish = max(next_finish, 0.0)
+        self._completion_event = self.sim.schedule(next_finish, self._on_completion_tick)
+
+    def _on_completion_tick(self) -> None:
+        self._completion_event = None
+        self._advance_progress()
+        self._reallocate()
+
+    def _max_min_fair_rates(self, transfers: List[Transfer]) -> List[float]:
+        """Classic progressive-filling max-min fair allocation over access links."""
+        links: Dict[Tuple[str, str], float] = {}
+        flows_on_link: Dict[Tuple[str, str], List[int]] = {}
+        for index, transfer in enumerate(transfers):
+            up_link = ("up", transfer.src_ip)
+            down_link = ("down", transfer.dst_ip)
+            up, _ = self.capacity(transfer.src_ip)
+            _, down = self.capacity(transfer.dst_ip)
+            links.setdefault(up_link, up)
+            links.setdefault(down_link, down)
+            flows_on_link.setdefault(up_link, []).append(index)
+            flows_on_link.setdefault(down_link, []).append(index)
+
+        rates = [0.0] * len(transfers)
+        unallocated = set(range(len(transfers)))
+        remaining = dict(links)
+
+        while unallocated:
+            # Fair share currently offered by each link to its unallocated flows.
+            best_link = None
+            best_share = math.inf
+            for link, capacity in remaining.items():
+                pending = [f for f in flows_on_link[link] if f in unallocated]
+                if not pending:
+                    continue
+                share = capacity / len(pending)
+                if share < best_share:
+                    best_share = share
+                    best_link = link
+            if best_link is None:
+                break
+            bottleneck_flows = [f for f in flows_on_link[best_link] if f in unallocated]
+            for flow in bottleneck_flows:
+                rates[flow] = best_share
+                unallocated.discard(flow)
+                # Reduce remaining capacity on every link this flow crosses.
+                transfer = transfers[flow]
+                for link in (("up", transfer.src_ip), ("down", transfer.dst_ip)):
+                    remaining[link] = max(0.0, remaining[link] - best_share)
+        return rates

@@ -1,0 +1,40 @@
+"""Message envelope delivered by the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.address import Address
+
+_msg_counter = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A single datagram/stream message travelling between two endpoints.
+
+    ``size`` is the on-the-wire size in bytes (payload after ``llenc``/JSON
+    serialisation plus a small framing overhead); it drives both the
+    bandwidth model and host processing delays.
+    """
+
+    src: Address
+    dst: Address
+    payload: Any
+    size: int
+    kind: str = "data"
+    sent_at: float = 0.0
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("message size must be non-negative")
+
+    def reply_to(self, payload: Any, size: int, kind: str = "reply") -> "Message":
+        """Build a response message addressed back to the sender."""
+        return Message(src=self.dst, dst=self.src, payload=payload, size=size, kind=kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Message #{self.msg_id} {self.kind} {self.src}->{self.dst} {self.size}B>"

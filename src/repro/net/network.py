@@ -1,0 +1,240 @@
+"""Message-level network connecting hosts, daemons and applications.
+
+The :class:`Network` owns the host registry, the latency/loss/bandwidth
+models and the endpoint (listener) table.  Small control messages (RPCs,
+protocol messages) are delivered individually with a per-message delay; bulk
+payloads go through the flow-level :class:`~repro.net.bandwidth.BandwidthModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.net.address import Address
+from repro.net.bandwidth import BandwidthModel, UNLIMITED_BPS
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.loss import LossModel
+from repro.net.message import Message
+from repro.sim.events_api import AppContext
+from repro.sim.futures import Future
+from repro.sim.kernel import Simulator
+from repro.sim.rng import substream
+
+
+@dataclass
+class NetworkStats:
+    """Counters maintained by the network (exposed to benchmarks and tests)."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    handler_errors: int = 0
+    transfers_started: int = 0
+    last_errors: List[str] = field(default_factory=list)
+
+    def record_error(self, error: str, cap: int = 20) -> None:
+        self.handler_errors += 1
+        self.last_errors.append(error)
+        if len(self.last_errors) > cap:
+            del self.last_errors[0]
+
+
+@dataclass
+class Listener:
+    """A registered message handler for one endpoint."""
+
+    address: Address
+    handler: Callable[[Message], Any]
+    context: Optional[AppContext] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.context is None or self.context.alive
+
+
+class Network:
+    """The simulated network substrate.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel providing the clock.
+    latency:
+        Latency model; defaults to a 1 ms constant one-way delay.
+    loss:
+        Loss model; defaults to lossless.
+    bandwidth:
+        Flow-level bandwidth model used for :meth:`transfer`; created lazily
+        with unlimited capacities if not provided.
+    jitter:
+        Fractional per-message jitter (e.g. ``0.1`` adds up to 10 % of the
+        base delay, uniformly).
+    strict:
+        If ``True``, exceptions raised by message handlers propagate (useful
+        in unit tests); otherwise they are recorded in :attr:`stats`.
+    """
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None,
+                 loss: Optional[LossModel] = None, bandwidth: Optional[BandwidthModel] = None,
+                 jitter: float = 0.0, strict: bool = False, seed: Optional[int] = None):
+        self.sim = sim
+        self.latency = latency or ConstantLatency(0.001)
+        self.loss = loss or LossModel(seed=seed if seed is not None else sim.seed)
+        self.bandwidth = bandwidth or BandwidthModel(sim)
+        self.jitter = jitter
+        self.strict = strict
+        self.hosts: Dict[str, Any] = {}
+        self.stats = NetworkStats()
+        self._listeners: Dict[Address, Listener] = {}
+        self._rng = substream(seed if seed is not None else sim.seed, "network-jitter")
+
+    # ----------------------------------------------------------------- hosts
+    def add_host(self, host: Any) -> None:
+        """Register a host object (must expose ``ip`` and ``alive``)."""
+        self.hosts[host.ip] = host
+
+    def remove_host(self, ip: str) -> None:
+        self.hosts.pop(ip, None)
+        self.bandwidth.cancel_host(ip)
+        for address in [a for a in self._listeners if a.ip == ip]:
+            del self._listeners[address]
+
+    def host(self, ip: str) -> Any:
+        return self.hosts[ip]
+
+    def has_host(self, ip: str) -> bool:
+        return ip in self.hosts
+
+    def host_alive(self, ip: str) -> bool:
+        host = self.hosts.get(ip)
+        return bool(host is not None and getattr(host, "alive", True))
+
+    # ------------------------------------------------------------- listeners
+    def listen(self, address: Address, handler: Callable[[Message], Any],
+               context: Optional[AppContext] = None) -> Listener:
+        """Register ``handler`` for messages addressed to ``address``."""
+        if address in self._listeners and self._listeners[address].alive:
+            raise ValueError(f"address already in use: {address}")
+        listener = Listener(address=address, handler=handler, context=context)
+        self._listeners[address] = listener
+        if context is not None:
+            context.add_cleanup(lambda: self.unlisten(address))
+        return listener
+
+    def unlisten(self, address: Address) -> None:
+        self._listeners.pop(address, None)
+
+    def listener(self, address: Address) -> Optional[Listener]:
+        return self._listeners.get(address)
+
+    def is_listening(self, address: Address) -> bool:
+        listener = self._listeners.get(address)
+        return listener is not None and listener.alive
+
+    def used_ports(self, ip: str) -> List[int]:
+        return sorted(a.port for a in self._listeners if a.ip == ip)
+
+    # ------------------------------------------------------------------ send
+    def send(self, src: Address, dst: Address, payload: Any, size: int,
+             kind: str = "data") -> Future:
+        """Send one message; the returned future completes with ``True`` on delivery.
+
+        Delivery requires the source and destination hosts to be alive and a
+        live listener on the destination endpoint.  Messages may also be
+        dropped by the loss model.  The sender is *not* notified of drops
+        (the future is a convenience for tests and for the RPC layer's
+        timeout bookkeeping); this mirrors datagram semantics.
+        """
+        outcome = Future(name=f"send:{src}->{dst}")
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size
+
+        if not self.host_alive(src.ip) or not self.host_alive(dst.ip):
+            self.stats.messages_dropped += 1
+            outcome.set_result(False)
+            return outcome
+        if self.loss.should_drop(src.ip, dst.ip):
+            self.stats.messages_dropped += 1
+            outcome.set_result(False)
+            return outcome
+
+        message = Message(src=src, dst=dst, payload=payload, size=size, kind=kind,
+                          sent_at=self.sim.now)
+        delay = self._message_delay(src, dst, size)
+        self.sim.schedule(delay, self._deliver, message, outcome)
+        return outcome
+
+    def _message_delay(self, src: Address, dst: Address, size: int) -> float:
+        delay = self.latency.one_way(src.ip, dst.ip)
+        if self.jitter:
+            delay += delay * self._rng.uniform(0.0, self.jitter)
+        # Transmission time over the narrower of the two access links.
+        up, _ = self.bandwidth.capacity(src.ip)
+        _, down = self.bandwidth.capacity(dst.ip)
+        narrow = min(up, down)
+        if narrow < UNLIMITED_BPS and size > 0:
+            delay += size * 8.0 / narrow
+        # Receiver-side processing delay (host load, swap penalty, ...).
+        dst_host = self.hosts.get(dst.ip)
+        if dst_host is not None and hasattr(dst_host, "processing_delay"):
+            delay += max(0.0, dst_host.processing_delay(size))
+        src_host = self.hosts.get(src.ip)
+        if src_host is not None and hasattr(src_host, "processing_delay"):
+            delay += max(0.0, src_host.processing_delay(size))
+        return delay
+
+    def _deliver(self, message: Message, outcome: Future) -> None:
+        if not self.host_alive(message.dst.ip):
+            self.stats.messages_dropped += 1
+            outcome.set_result(False)
+            return
+        listener = self._listeners.get(message.dst)
+        if listener is None or not listener.alive:
+            self.stats.messages_dropped += 1
+            outcome.set_result(False)
+            return
+        try:
+            listener.handler(message)
+        except Exception as exc:  # noqa: BLE001 - handler bugs must not kill the run
+            if self.strict:
+                raise
+            self.stats.record_error(f"{message.dst}: {exc!r}")
+            outcome.set_result(False)
+            return
+        self.stats.messages_delivered += 1
+        outcome.set_result(True)
+
+    # -------------------------------------------------------------- transfers
+    def transfer(self, src: Address, dst: Address, nbytes: float) -> Future:
+        """Bulk transfer through the flow-level bandwidth model.
+
+        The returned future completes with the finish time when the last byte
+        arrives, or is cancelled if either host fails mid-transfer.
+        """
+        result = Future(name=f"transfer:{src}->{dst}")
+        if not self.host_alive(src.ip) or not self.host_alive(dst.ip):
+            result.cancel()
+            return result
+        self.stats.transfers_started += 1
+        propagation = self.latency.one_way(src.ip, dst.ip)
+        transfer = self.bandwidth.transfer(src.ip, dst.ip, nbytes)
+
+        def _complete(fut: Future) -> None:
+            if fut.cancelled():
+                result.cancel()
+                return
+            # The last byte still needs one propagation delay to arrive.
+            self.sim.schedule(propagation, result.set_result, self.sim.now + propagation)
+
+        transfer.done.add_done_callback(_complete)
+        return result
+
+    # --------------------------------------------------------------- queries
+    def one_way_delay(self, src_ip: str, dst_ip: str) -> float:
+        """Base one-way delay between two hosts (no jitter, no processing)."""
+        return self.latency.one_way(src_ip, dst_ip)
+
+    def rtt(self, src_ip: str, dst_ip: str) -> float:
+        return self.latency.rtt(src_ip, dst_ip)

@@ -1,0 +1,173 @@
+"""Transit-stub topology generation for the ModelNet testbed model.
+
+The paper's ModelNet configuration "emulates 1,100 hosts connected to a
+500-node transit-stub topology.  The bandwidth is set to 10 Mbps for all
+links.  RTT between nodes of the same domain is 10 ms, stub-stub and
+stub-transit RTT is 30 ms, and transit-transit (i.e., long range links) RTT
+is 100 ms."  This module generates such topologies with `networkx` and
+computes shortest-path delays between attachment points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+from repro.sim.rng import substream
+
+
+class TransitStubTopology:
+    """A GT-ITM style transit-stub topology.
+
+    The generated graph contains ``transit_domains`` fully meshed transit
+    domains connected in a ring (with a few random long-range chords); each
+    transit node anchors ``stub_domains_per_transit`` stub domains, each a
+    small connected cluster of ``stub_nodes_per_domain`` nodes.  End hosts
+    attach to stub nodes.
+
+    Edge delays are *one-way* seconds, derived from the RTT parameters.
+    """
+
+    def __init__(
+        self,
+        transit_domains: int = 4,
+        transit_nodes_per_domain: int = 5,
+        stub_domains_per_transit: int = 3,
+        stub_nodes_per_domain: int = 8,
+        seed: int = 0,
+        transit_transit_rtt: float = 0.100,
+        stub_transit_rtt: float = 0.030,
+        stub_stub_rtt: float = 0.030,
+        intra_domain_rtt: float = 0.010,
+        link_bandwidth_bps: float = 10_000_000.0,
+    ):
+        if transit_domains < 1 or transit_nodes_per_domain < 1:
+            raise ValueError("topology needs at least one transit node")
+        self.seed = seed
+        self.transit_transit_rtt = transit_transit_rtt
+        self.stub_transit_rtt = stub_transit_rtt
+        self.stub_stub_rtt = stub_stub_rtt
+        self.intra_domain_rtt = intra_domain_rtt
+        self.link_bandwidth_bps = link_bandwidth_bps
+
+        self.graph = nx.Graph()
+        self.transit_nodes: List[int] = []
+        self.stub_nodes: List[int] = []
+        #: stub node -> transit node it hangs off
+        self.stub_parent: Dict[int, int] = {}
+        self._delay_cache: Dict[int, Dict[int, float]] = {}
+
+        rng = substream(seed, "transit-stub")
+        self._build(transit_domains, transit_nodes_per_domain,
+                    stub_domains_per_transit, stub_nodes_per_domain, rng)
+
+    # ----------------------------------------------------------------- build
+    def _build(self, transit_domains: int, transit_nodes_per_domain: int,
+               stub_domains_per_transit: int, stub_nodes_per_domain: int, rng) -> None:
+        next_id = 0
+        domains: List[List[int]] = []
+        for _domain in range(transit_domains):
+            nodes = []
+            for _ in range(transit_nodes_per_domain):
+                self.graph.add_node(next_id, kind="transit")
+                nodes.append(next_id)
+                next_id += 1
+            # Full mesh inside a transit domain.
+            for i, a in enumerate(nodes):
+                for b in nodes[i + 1:]:
+                    self._add_edge(a, b, self.transit_transit_rtt / 2.0)
+            domains.append(nodes)
+            self.transit_nodes.extend(nodes)
+
+        # Connect transit domains in a ring plus random chords for redundancy.
+        for index, domain in enumerate(domains):
+            other = domains[(index + 1) % len(domains)]
+            self._add_edge(rng.choice(domain), rng.choice(other), self.transit_transit_rtt / 2.0)
+        extra_chords = max(0, transit_domains - 2)
+        for _ in range(extra_chords):
+            a_domain, b_domain = rng.sample(range(len(domains)), 2)
+            self._add_edge(rng.choice(domains[a_domain]), rng.choice(domains[b_domain]),
+                           self.transit_transit_rtt / 2.0)
+
+        # Hang stub domains off transit nodes.
+        for transit in self.transit_nodes:
+            for _stub_domain in range(stub_domains_per_transit):
+                stub_ids = []
+                for _ in range(stub_nodes_per_domain):
+                    self.graph.add_node(next_id, kind="stub")
+                    stub_ids.append(next_id)
+                    self.stub_parent[next_id] = transit
+                    next_id += 1
+                # Stub domain internal structure: a path plus a random chord,
+                # cheap links (stub-stub RTT).
+                for a, b in zip(stub_ids, stub_ids[1:]):
+                    self._add_edge(a, b, self.stub_stub_rtt / 2.0)
+                if len(stub_ids) > 3:
+                    a, b = rng.sample(stub_ids, 2)
+                    if not self.graph.has_edge(a, b):
+                        self._add_edge(a, b, self.stub_stub_rtt / 2.0)
+                # Gateway link: first stub node connects to the transit node.
+                self._add_edge(stub_ids[0], transit, self.stub_transit_rtt / 2.0)
+                self.stub_nodes.extend(stub_ids)
+
+    def _add_edge(self, a: int, b: int, one_way_delay: float) -> None:
+        self.graph.add_edge(a, b, delay=one_way_delay, bandwidth=self.link_bandwidth_bps)
+
+    # --------------------------------------------------------------- queries
+    @property
+    def node_count(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def intra_domain_delay(self) -> float:
+        """One-way delay between two hosts attached to the same stub node."""
+        return self.intra_domain_rtt / 2.0
+
+    def path_delay(self, src_node: int, dst_node: int) -> float:
+        """One-way delay between two topology nodes (shortest path on edge delays).
+
+        A host-access component (half the intra-domain delay on each side) is
+        added so that co-located hosts and remote hosts are consistent.
+        """
+        if src_node == dst_node:
+            return self.intra_domain_delay
+        cache = self._delay_cache.get(src_node)
+        if cache is None:
+            cache = nx.single_source_dijkstra_path_length(self.graph, src_node, weight="delay")
+            self._delay_cache[src_node] = cache
+        try:
+            base = cache[dst_node]
+        except KeyError as exc:
+            raise KeyError(f"no path between topology nodes {src_node} and {dst_node}") from exc
+        return base + self.intra_domain_delay
+
+    def path_hops(self, src_node: int, dst_node: int) -> int:
+        """Number of topology hops on the delay-shortest path."""
+        if src_node == dst_node:
+            return 0
+        path = nx.dijkstra_path(self.graph, src_node, dst_node, weight="delay")
+        return len(path) - 1
+
+    def attach_hosts(self, ips: Iterable[str], seed: int = 1) -> Dict[str, int]:
+        """Assign each host IP to a stub node, round-robin over a shuffled list.
+
+        ModelNet maps multiple emulated end hosts to each stub node; this
+        reproduces the paper's 1,100 hosts on a 500-node topology.
+        """
+        rng = substream(self.seed, "attach", seed)
+        stubs = list(self.stub_nodes)
+        rng.shuffle(stubs)
+        attachment: Dict[str, int] = {}
+        for index, ip in enumerate(ips):
+            attachment[ip] = stubs[index % len(stubs)]
+        return attachment
+
+    def describe(self) -> Dict[str, int]:
+        """Summary statistics used by tests and documentation."""
+        return {
+            "nodes": self.node_count,
+            "transit_nodes": len(self.transit_nodes),
+            "stub_nodes": len(self.stub_nodes),
+            "edges": self.graph.number_of_edges(),
+        }

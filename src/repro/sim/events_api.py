@@ -1,0 +1,194 @@
+"""The ``splay.events`` compatible API.
+
+Every SPLAY application instance receives an :class:`Events` object bound to
+its :class:`AppContext`.  The context keeps track of every process and timer
+the application creates so that the daemon (or the churn manager) can tear
+the instance down instantly — exactly like killing the sandboxed process in
+the original system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.futures import Future
+from repro.sim.kernel import ScheduledEvent, Simulator
+from repro.sim.process import Process
+
+
+class AppContext:
+    """Book-keeping for one sandboxed application instance.
+
+    Tracks spawned processes, pending timers, named-event waiters and
+    arbitrary cleanup callbacks.  :meth:`kill` cancels all of them; after the
+    kill the context refuses to register new activity, which makes races
+    between churn and application code harmless.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "app"):
+        self.sim = sim
+        self.name = name
+        self.alive = True
+        self._processes: List[Process] = []
+        self._timers: List[ScheduledEvent] = []
+        self._cleanups: List[Callable[[], None]] = []
+
+    # --------------------------------------------------------------- tracking
+    def track_process(self, process: Process) -> Process:
+        if not self.alive:
+            process.kill("context dead")
+            return process
+        self._processes.append(process)
+        return process
+
+    def track_timer(self, event: ScheduledEvent) -> ScheduledEvent:
+        if not self.alive:
+            event.cancel()
+            return event
+        self._timers.append(event)
+        return event
+
+    def add_cleanup(self, callback: Callable[[], None]) -> None:
+        """Register a callback run when the context is killed."""
+        if not self.alive:
+            callback()
+            return
+        self._cleanups.append(callback)
+
+    # ------------------------------------------------------------------ kill
+    def kill(self, reason: str = "killed") -> None:
+        """Terminate everything the application created."""
+        if not self.alive:
+            return
+        self.alive = False
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        for process in self._processes:
+            process.kill(reason)
+        self._processes.clear()
+        cleanups, self._cleanups = self._cleanups, []
+        for callback in cleanups:
+            try:
+                callback()
+            except Exception:  # noqa: BLE001 - cleanup must not cascade
+                pass
+
+    # --------------------------------------------------------------- queries
+    @property
+    def live_processes(self) -> int:
+        self._processes = [p for p in self._processes if p.alive or not p.done.done()]
+        return sum(1 for p in self._processes if p.alive)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<AppContext {self.name} {'alive' if self.alive else 'dead'}>"
+
+
+class PeriodicTask:
+    """Handle returned by :meth:`Events.periodic`; supports cancellation."""
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self._current: Optional[ScheduledEvent] = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._current is not None:
+            self._current.cancel()
+            self._current = None
+
+
+class Events:
+    """Application-facing event API (``splay.events``).
+
+    Mirrors the operations used by the paper's code listings:
+    ``events.thread``, ``events.periodic``, ``events.sleep`` and the implicit
+    main loop.  All activity is tracked on the bound :class:`AppContext`.
+    """
+
+    def __init__(self, sim: Simulator, context: Optional[AppContext] = None):
+        self.sim = sim
+        self.context = context or AppContext(sim)
+        self._named_waiters: Dict[str, List[Future]] = {}
+
+    # --------------------------------------------------------------- threads
+    def thread(self, fn: Callable[..., Any], *args: Any, name: str = "", delay: float = 0.0) -> Process:
+        """Spawn ``fn(*args)`` as a new coroutine ("thread" in SPLAY terms)."""
+        if _is_generator_function(fn):
+            target: Any = fn(*args)
+        elif args:
+            target = lambda: fn(*args)  # noqa: E731 - deferred invocation
+        else:
+            target = fn
+        process = Process(self.sim, target, name=name or f"{self.context.name}.thread")
+        process.start(delay)
+        return self.context.track_process(process)
+
+    def periodic(self, fn: Callable[[], Any], interval: float, jitter: float = 0.0,
+                 initial_delay: Optional[float] = None) -> PeriodicTask:
+        """Run ``fn`` every ``interval`` seconds (as done for Chord stabilization).
+
+        ``fn`` may be a plain function or a generator function; each firing
+        runs as its own coroutine.  ``jitter`` adds a uniform random offset in
+        ``[0, jitter)`` to each period to avoid lock-step behaviour across
+        thousands of simulated nodes.
+        """
+        if interval <= 0:
+            raise ValueError("periodic interval must be positive")
+        task = PeriodicTask()
+
+        def _fire() -> None:
+            if task.cancelled or not self.context.alive:
+                return
+            self.thread(fn, name=f"{self.context.name}.periodic")
+            _arm()
+
+        def _arm() -> None:
+            if task.cancelled or not self.context.alive:
+                return
+            delay = interval + (self.sim.rng.uniform(0.0, jitter) if jitter else 0.0)
+            task._current = self.context.track_timer(self.sim.schedule(delay, _fire))
+
+        first = initial_delay if initial_delay is not None else interval
+        first = first + (self.sim.rng.uniform(0.0, jitter) if jitter else 0.0)
+        task._current = self.context.track_timer(self.sim.schedule(first, _fire))
+        return task
+
+    def timer(self, delay: float, fn: Callable[[], Any]) -> ScheduledEvent:
+        """Run ``fn`` once, ``delay`` seconds from now."""
+        return self.context.track_timer(self.sim.schedule(delay, lambda: self.thread(fn)))
+
+    # ---------------------------------------------------------------- sleeps
+    @staticmethod
+    def sleep(duration: float) -> float:
+        """Return a value to ``yield`` in order to sleep ``duration`` seconds."""
+        return float(duration)
+
+    # ---------------------------------------------------------- named events
+    def fire(self, name: str, value: Any = None) -> int:
+        """Wake every coroutine waiting on event ``name``; returns waiter count."""
+        waiters = self._named_waiters.pop(name, [])
+        for waiter in waiters:
+            waiter.set_result(value)
+        return len(waiters)
+
+    def wait(self, name: str) -> Future:
+        """Return a future completing on the next :meth:`fire` for ``name``."""
+        future = Future(name=f"event:{name}")
+        self._named_waiters.setdefault(name, []).append(future)
+        return future
+
+    # ------------------------------------------------------------------ misc
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self.sim.now
+
+    def exit(self) -> None:
+        """Terminate the application instance (kills all its coroutines)."""
+        self.context.kill("events.exit")
+
+
+def _is_generator_function(fn: Callable[..., Any]) -> bool:
+    import inspect
+
+    return inspect.isgeneratorfunction(fn)

@@ -1,0 +1,168 @@
+"""Event heap and virtual clock.
+
+The :class:`Simulator` is the single authority on virtual time.  Every other
+component (network, daemons, controller, applications) schedules callbacks on
+it.  Determinism is guaranteed by a monotonically increasing sequence number
+used to break ties between events scheduled for the same instant, and by the
+simulator-owned random number generator.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Optional
+
+
+class ScheduledEvent:
+    """A cancellable callback scheduled on the simulator.
+
+    Instances are returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.schedule_at`.  Calling :meth:`cancel` before the event
+    fires prevents the callback from running; cancelling an event that has
+    already fired is a no-op.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if it already ran)."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither fired nor been cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<ScheduledEvent t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the simulator-owned :class:`random.Random`.  All stochastic
+        models (latency jitter, loss, host load, workloads) must draw either
+        from :attr:`rng` or from a substream derived via
+        :func:`repro.sim.rng.substream` so that runs are reproducible.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._heap: list[ScheduledEvent] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._stop_requested = False
+        self._running = False
+        self.seed = seed
+        self.rng = random.Random(seed)
+        #: number of callbacks executed so far (useful for tests and stats)
+        self.executed_events = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current virtual time, in seconds."""
+        return self._now
+
+    # -------------------------------------------------------------- schedule
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, when: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run at absolute virtual time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
+        self._seq += 1
+        event = ScheduledEvent(when, self._seq, callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at the current instant (after pending same-time events)."""
+        return self.schedule(0.0, callback, *args)
+
+    # ------------------------------------------------------------------- run
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the event
+        queue was empty (cancelled events are skipped transparently).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fired = True
+            self.executed_events += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains or virtual time reaches ``until``.
+
+        Returns the virtual time at which the run stopped.
+        """
+        self._stop_requested = False
+        self._running = True
+        try:
+            while self._heap and not self._stop_requested:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+                self.step()
+            else:
+                if until is not None and self._now < until:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_for(self, duration: float) -> float:
+        """Run for ``duration`` seconds of virtual time from the current instant."""
+        return self.run(until=self._now + duration)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+    # --------------------------------------------------------------- queries
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def running(self) -> bool:
+        """True while :meth:`run` is executing."""
+        return self._running
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock is left unchanged)."""
+        self._heap.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now:.6f} pending={self.pending_events}>"

@@ -1,0 +1,130 @@
+"""Coroutine synchronisation primitives (``splay.locks`` equivalent).
+
+The paper points out that shared-data races under cooperative multitasking
+can only occur across yield points, and provides a lock library as a simple
+protection mechanism.  This module provides :class:`Lock`, a counting
+:class:`Semaphore` and a producer/consumer :class:`Queue`, all awaited by
+yielding the future returned from their acquire/get methods.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.futures import Future
+from repro.sim.kernel import Simulator
+
+
+class Lock:
+    """A non-reentrant mutual-exclusion lock for coroutines."""
+
+    def __init__(self, sim: Simulator, name: str = "lock"):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[Future] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Future:
+        """Return a future that completes once the lock is held by the caller."""
+        future = Future(name=f"{self.name}.acquire")
+        if not self._locked:
+            self._locked = True
+            future.set_result(True)
+        else:
+            self._waiters.append(future)
+        return future
+
+    def release(self) -> None:
+        """Release the lock, waking the next waiter if any."""
+        if not self._locked:
+            raise RuntimeError(f"{self.name}: release of an unlocked lock")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.cancelled():
+                continue
+            waiter.set_result(True)
+            return
+        self._locked = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Lock {self.name} {'locked' if self._locked else 'free'} waiters={len(self._waiters)}>"
+
+
+class Semaphore:
+    """A counting semaphore for coroutines."""
+
+    def __init__(self, sim: Simulator, value: int = 1, name: str = "semaphore"):
+        if value < 0:
+            raise ValueError("semaphore initial value must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._value = value
+        self._waiters: Deque[Future] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> Future:
+        future = Future(name=f"{self.name}.acquire")
+        if self._value > 0:
+            self._value -= 1
+            future.set_result(True)
+        else:
+            self._waiters.append(future)
+        return future
+
+    def release(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.cancelled():
+                continue
+            waiter.set_result(True)
+            return
+        self._value += 1
+
+
+class Queue:
+    """An unbounded FIFO queue connecting producer and consumer coroutines."""
+
+    def __init__(self, sim: Simulator, name: str = "queue"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Future] = deque()
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking one waiting consumer if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.cancelled():
+                continue
+            getter.set_result(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Future:
+        """Return a future completing with the next item."""
+        future = Future(name=f"{self.name}.get")
+        if self._items:
+            future.set_result(self._items.popleft())
+        else:
+            self._getters.append(future)
+        return future
+
+    def get_nowait(self) -> Optional[Any]:
+        """Dequeue immediately, or return ``None`` when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Queue {self.name} items={len(self._items)} getters={len(self._getters)}>"

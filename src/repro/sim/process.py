@@ -1,0 +1,189 @@
+"""Generator-based cooperative coroutines ("threads" in SPLAY parlance).
+
+SPLAY applications are written against a cooperative multitasking model:
+coroutines yield the processor only at explicit blocking points (network I/O,
+disk I/O, sleeps).  We reproduce this with Python generators driven by a
+:class:`Process` object.
+
+A coroutine is any generator function.  Inside it, the following values may
+be yielded to block:
+
+* a ``float``/``int`` — sleep that many (virtual) seconds;
+* ``None`` — yield the processor and resume at the same instant;
+* a :class:`~repro.sim.futures.Future` — resume when it completes, receiving
+  its result (or having its exception raised at the yield point);
+* another :class:`Process` — wait for it to terminate;
+* a generator — run it as a child process and wait for its return value.
+
+The return value of the generator (via ``return value``) becomes the result
+of the process's :attr:`Process.done` future.
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.futures import Future, FutureState
+from repro.sim.kernel import ScheduledEvent, Simulator
+
+
+class ProcessKilled(Exception):
+    """Injected into a coroutine when its process is killed (e.g. by churn)."""
+
+
+class Process:
+    """Drives a generator coroutine on the simulator.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing the clock.
+    generator:
+        The coroutine to drive.  Plain callables are invoked immediately on
+        start and the process completes with their return value.
+    name:
+        Optional label used in diagnostics.
+    """
+
+    _ids = 0
+
+    def __init__(self, sim: Simulator, generator: Any, name: str = ""):
+        Process._ids += 1
+        self.pid = Process._ids
+        self.sim = sim
+        self.name = name or f"process-{self.pid}"
+        self._generator: Optional[Generator] = generator if isinstance(generator, GeneratorType) else None
+        self._plain_callable: Optional[Callable[[], Any]] = None
+        if self._generator is None:
+            if callable(generator):
+                self._plain_callable = generator
+            else:
+                raise TypeError(f"Process target must be a generator or callable, got {type(generator)!r}")
+        #: completes when the coroutine returns, raises, or is killed
+        self.done = Future(name=f"{self.name}.done")
+        self._started = False
+        self._killed = False
+        self._pending_event: Optional[ScheduledEvent] = None
+        self._waiting_on: Optional[Future] = None
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self, delay: float = 0.0) -> "Process":
+        """Schedule the first step of the coroutine ``delay`` seconds from now."""
+        if self._started:
+            raise RuntimeError(f"{self.name} already started")
+        self._started = True
+        self._pending_event = self.sim.schedule(delay, self._first_step)
+        return self
+
+    def kill(self, reason: str = "killed") -> None:
+        """Terminate the coroutine.
+
+        The :class:`ProcessKilled` exception is raised at the coroutine's
+        current yield point so that ``finally`` blocks run; the ``done``
+        future is cancelled.
+        """
+        if self.done.done() or self._killed:
+            return
+        self._killed = True
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._waiting_on is not None:
+            # Detach: the future may still complete but we will ignore it.
+            self._waiting_on = None
+        if self._generator is not None:
+            try:
+                self._generator.throw(ProcessKilled(reason))
+            except (ProcessKilled, StopIteration):
+                pass
+            except Exception:
+                # Application cleanup code misbehaving must not take down the
+                # simulator; the process is being killed regardless.
+                pass
+            finally:
+                self._generator.close()
+        self.done.cancel()
+
+    @property
+    def alive(self) -> bool:
+        """True while the coroutine has not yet terminated."""
+        return self._started and not self.done.done()
+
+    # ----------------------------------------------------------------- steps
+    def _first_step(self) -> None:
+        self._pending_event = None
+        if self._killed:
+            return
+        if self._plain_callable is not None:
+            try:
+                result = self._plain_callable()
+            except Exception as exc:  # noqa: BLE001 - propagate via the future
+                self.done.set_exception(exc)
+                return
+            if isinstance(result, GeneratorType):
+                # A callable returning a generator is treated as a coroutine.
+                self._generator = result
+                self._step(None, None)
+                return
+            self.done.set_result(result)
+            return
+        self._step(None, None)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        self._pending_event = None
+        if self._killed or self.done.done():
+            return
+        assert self._generator is not None
+        try:
+            if exc is not None:
+                yielded = self._generator.throw(exc)
+            else:
+                yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self.done.set_result(getattr(stop, "value", None))
+            return
+        except ProcessKilled:
+            self.done.cancel()
+            return
+        except Exception as error:  # noqa: BLE001 - propagate via the future
+            self.done.set_exception(error)
+            return
+        self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Any) -> None:
+        if yielded is None:
+            self._pending_event = self.sim.schedule(0.0, self._step, None, None)
+        elif isinstance(yielded, (int, float)):
+            self._pending_event = self.sim.schedule(float(yielded), self._step, None, None)
+        elif isinstance(yielded, Future):
+            self._wait_future(yielded)
+        elif isinstance(yielded, Process):
+            self._wait_future(yielded.done)
+        elif isinstance(yielded, GeneratorType):
+            child = Process(self.sim, yielded, name=f"{self.name}.child")
+            child.start()
+            self._wait_future(child.done)
+        else:
+            self._step(None, TypeError(f"cannot wait on yielded value {yielded!r}"))
+
+    def _wait_future(self, future: Future) -> None:
+        self._waiting_on = future
+
+        def _resume(fut: Future) -> None:
+            if self._waiting_on is not fut:
+                return  # the process was killed or re-targeted meanwhile
+            self._waiting_on = None
+            if self._killed or self.done.done():
+                return
+            if fut.state is FutureState.DONE:
+                self._pending_event = self.sim.schedule(0.0, self._step, fut.result(), None)
+            else:
+                error = fut.exception() or RuntimeError("future cancelled")
+                self._pending_event = self.sim.schedule(0.0, self._step, None, error)
+
+        future.add_done_callback(_resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done.done() else ("running" if self._started else "new")
+        return f"<Process {self.name} {state}>"
