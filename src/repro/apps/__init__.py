@@ -1,0 +1,16 @@
+"""Reproduced SPLAY applications.
+
+Applications are written against the sandboxed libraries only — they receive
+a runtime :class:`~repro.runtime.splayd.Instance` and talk to the world
+through ``instance.rpc`` / ``instance.events`` / ``instance.fs`` /
+``instance.logger``, never through the raw network.
+
+* :mod:`repro.apps.chord` — the paper's flagship: Chord with join,
+  stabilization, finger maintenance and fault-tolerant lookups;
+* :mod:`repro.apps.scenarios` — end-to-end experiment entry points
+  (``python -m repro.apps.scenarios chord --nodes 50 --churn``).
+"""
+
+from repro.apps.chord import ChordNode, LookupFailed, chord_factory
+
+__all__ = ["ChordNode", "LookupFailed", "chord_factory"]

@@ -1,0 +1,330 @@
+"""End-to-end experiment scenarios (``python -m repro.apps.scenarios``).
+
+The flagship scenario reproduces the paper's Chord-under-churn experiment:
+deploy Chord through the controller onto splayd daemons spread over a
+transit-stub (ModelNet-style) topology, replay a churn script against the
+job, then measure lookup correctness and latency once the ring re-converges.
+
+Everything is driven by one root seed: topology, placement, join staggering,
+churn victim selection and the lookup workload all draw from deterministic
+substreams, so a given command line always produces the same report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.apps.chord import LookupFailed, chord_factory
+from repro.core.churn import parse_churn_script
+from repro.core.jobs import JobSpec
+from repro.lib.ring import ring_distance
+from repro.net.latency import TopologyLatency
+from repro.net.network import Network
+from repro.net.topology import TransitStubTopology
+from repro.runtime.controller import Controller
+from repro.runtime.splayd import Splayd, SplaydLimits
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import substream
+
+#: the flagship churn script: a crash burst, a continuous-replacement
+#: window, then a join wave — times are relative to job start
+DEFAULT_CHURN_SCRIPT = """\
+at 150s crash 10%
+from 180s to 300s every 30s replace 5%
+at 330s join 5
+"""
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one measured lookup."""
+
+    key: int
+    started_at: float
+    latency: float
+    hops: int
+    completed: bool
+    correct: bool
+
+
+def _host_ips(count: int) -> List[str]:
+    if count > 65536:
+        raise ValueError("scenario supports at most 65536 hosts")
+    return [f"10.{i // 256}.{i % 256}.1" for i in range(count)]
+
+
+def _expected_owner(job, key: int, bits: int):
+    """Ground truth: the successor of ``key`` among current ring members."""
+    members = job.shared.get("chord_members", [])
+    if not members:
+        return None
+    return min(members, key=lambda m: (ring_distance(key, m.id, bits), m.ip, m.port))
+
+
+def _lookup_stream(sim: Simulator, job, count: int, spacing: float, bits: int,
+                   rng, results: List[LookupResult]) -> Generator:
+    """Coroutine issuing ``count`` lookups from random live nodes."""
+    for _ in range(count):
+        apps = [i.app for i in job.live_instances()
+                if i.app is not None and getattr(i.app, "joined", False)]
+        if not apps:
+            yield spacing
+            continue
+        origin = rng.choice(sorted(apps, key=lambda a: (a.me.ip, a.me.port)))
+        key = rng.randrange(1 << bits)
+        started = sim.now
+        try:
+            owner, hops = yield from origin.lookup(key)
+        except LookupFailed:
+            results.append(LookupResult(key, started, sim.now - started, 0, False, False))
+        except Exception:  # noqa: BLE001 - origin died mid-lookup (churn)
+            results.append(LookupResult(key, started, sim.now - started, 0, False, False))
+        else:
+            expected = _expected_owner(job, key, bits)
+            correct = (expected is not None and owner.ip == expected.ip
+                       and owner.port == expected.port)
+            results.append(LookupResult(key, started, sim.now - started, hops, True, correct))
+        yield spacing
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+def _summarise(results: List[LookupResult]) -> dict:
+    issued = len(results)
+    completed = [r for r in results if r.completed]
+    correct = [r for r in results if r.correct]
+    latencies = [r.latency for r in completed]
+    hops = [r.hops for r in completed]
+    return {
+        "issued": issued,
+        "completed": len(completed),
+        "correct": len(correct),
+        "success_rate": (len(correct) / issued) if issued else 0.0,
+        "latency_mean_ms": 1000.0 * (sum(latencies) / len(latencies)) if latencies else 0.0,
+        "latency_p50_ms": 1000.0 * _percentile(latencies, 0.50),
+        "latency_p95_ms": 1000.0 * _percentile(latencies, 0.95),
+        "latency_max_ms": 1000.0 * (max(latencies) if latencies else 0.0),
+        "hops_mean": (sum(hops) / len(hops)) if hops else 0.0,
+        "hops_max": max(hops) if hops else 0,
+    }
+
+
+def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int = 0,
+                       churn: bool = False, churn_script: Optional[str] = None,
+                       lookups: int = 200, bits: int = 32,
+                       join_window: Optional[float] = None,
+                       settle: Optional[float] = None, spacing: float = 0.25,
+                       probe_interval: float = 2.0) -> dict:
+    """Run the flagship scenario and return the report dict.
+
+    ``join_window`` and ``settle`` default to values scaled with the ring
+    size — big rings need proportionally longer to join and re-converge.
+    """
+    if join_window is None:
+        join_window = max(60.0, 0.8 * nodes)
+    if settle is None:
+        settle = max(90.0, 0.6 * nodes)
+    sim = Simulator(seed)
+    host_count = hosts if hosts is not None else max(8, nodes // 2)
+    ips = _host_ips(host_count)
+
+    # ModelNet-style substrate: the paper's 500-node transit-stub topology
+    # parameters, 10 Mbps access links, hosts round-robined onto stub nodes.
+    topology = TransitStubTopology(seed=seed)
+    attachment = topology.attach_hosts(ips)
+    network = Network(sim, latency=TopologyLatency(topology, attachment), seed=seed)
+    for ip in ips:
+        network.bandwidth.set_capacity(ip, topology.link_bandwidth_bps,
+                                       topology.link_bandwidth_bps)
+
+    controller = Controller(sim, network, seed=seed)
+    slots = max(2, math.ceil(nodes / host_count) + 2)
+    for ip in ips:
+        controller.register_daemon(
+            Splayd(sim, network, ip, SplaydLimits(max_instances=slots)))
+
+    script = churn_script if churn_script is not None else (
+        DEFAULT_CHURN_SCRIPT if churn else None)
+    spec = JobSpec(
+        name="chord",
+        app_factory=chord_factory(),
+        instances=nodes,
+        base_port=20000,
+        log_level="INFO",
+        log_max_bytes=256_000,
+        churn_script=script,
+        options={"bits": bits, "join_window": join_window},
+    )
+    job = controller.submit(spec)
+    controller.start(job)
+
+    warmup_end = join_window + 60.0
+    churn_end = warmup_end
+    if script:
+        actions = parse_churn_script(script)
+        if actions:
+            churn_end = max(warmup_end, max(a.time for a in actions))
+    measure_start = churn_end + settle
+
+    # Probe lookups issued while churn is active (reported, not gating).
+    probe_results: List[LookupResult] = []
+    if script and churn_end > warmup_end:
+        probe_count = int((churn_end - warmup_end) / probe_interval)
+        probe = Process(sim, _lookup_stream(sim, job, probe_count, probe_interval, bits,
+                                            substream(seed, "workload-churn"),
+                                            probe_results),
+                        name="workload.under-churn")
+        probe.start(delay=warmup_end)
+
+    # The measured workload starts once the ring has re-converged.
+    results: List[LookupResult] = []
+    driver = Process(sim, _lookup_stream(sim, job, lookups, spacing, bits,
+                                         substream(seed, "workload"), results),
+                     name="workload.measured")
+    driver.start(delay=measure_start)
+
+    # Run until the measured workload drains (lookups take several RTTs each,
+    # so a fixed horizon would truncate the stream); a hard cap bounds runaway.
+    hard_cap = measure_start + lookups * (spacing + 30.0) + 300.0
+    while not driver.done.done() and sim.now < hard_cap:
+        sim.run(until=min(hard_cap, sim.now + 60.0))
+
+    churn_manager = controller.churn_managers.get(job.job_id)
+    report = {
+        "scenario": "chord",
+        "seed": seed,
+        "nodes": nodes,
+        "hosts": host_count,
+        "bits": bits,
+        "topology": topology.describe(),
+        "virtual_time": sim.now,
+        "events_executed": sim.executed_events,
+        "job": controller.job_status(job),
+        "churn": None,
+        "under_churn": _summarise(probe_results) if probe_results else None,
+        "measured": _summarise(results),
+        "network": {
+            "messages_sent": network.stats.messages_sent,
+            "messages_delivered": network.stats.messages_delivered,
+            "messages_dropped": network.stats.messages_dropped,
+            "bytes_sent": network.stats.bytes_sent,
+        },
+        "log_records_collected": len(controller.logs.get(job.job_id, [])),
+    }
+    if churn_manager is not None:
+        stats = churn_manager.stats
+        report["churn"] = {
+            "actions_applied": stats.actions_applied,
+            "joined": stats.instances_joined,
+            "left": stats.instances_left,
+            "crashed": stats.instances_crashed,
+        }
+    return report
+
+
+def _print_report(report: dict) -> None:
+    job = report["job"]
+    measured = report["measured"]
+    print(f"=== SPLAY scenario: {report['scenario']} "
+          f"(seed={report['seed']}, nodes={report['nodes']}, hosts={report['hosts']}, "
+          f"bits={report['bits']}) ===")
+    print(f"virtual time: {report['virtual_time']:.0f}s   "
+          f"events: {report['events_executed']}")
+    print(f"job: state={job['state']} live={job['live_instances']} "
+          f"started={job['instances_started']} "
+          f"churn(+{job['churn_joins']}/-{job['churn_leaves']}) "
+          f"logs={report['log_records_collected']}")
+    if report["churn"]:
+        churn = report["churn"]
+        print(f"churn: {churn['actions_applied']} actions, "
+              f"{churn['crashed']} crashed, {churn['left']} left, "
+              f"{churn['joined']} joined")
+    if report["under_churn"]:
+        under = report["under_churn"]
+        print(f"lookups under churn: {under['correct']}/{under['issued']} correct "
+              f"({100 * under['success_rate']:.1f}%), "
+              f"latency p50={under['latency_p50_ms']:.0f}ms "
+              f"p95={under['latency_p95_ms']:.0f}ms")
+    print(f"measured lookups: {measured['correct']}/{measured['issued']} correct "
+          f"-> success rate {100 * measured['success_rate']:.2f}%")
+    print(f"lookup latency: mean={measured['latency_mean_ms']:.0f}ms "
+          f"p50={measured['latency_p50_ms']:.0f}ms "
+          f"p95={measured['latency_p95_ms']:.0f}ms "
+          f"max={measured['latency_max_ms']:.0f}ms")
+    print(f"lookup hops: mean={measured['hops_mean']:.2f} max={measured['hops_max']}")
+    network = report["network"]
+    print(f"network: {network['messages_sent']} sent, "
+          f"{network['messages_delivered']} delivered, "
+          f"{network['messages_dropped']} dropped, "
+          f"{network['bytes_sent']} bytes")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apps.scenarios",
+        description="SPLAY reproduction scenarios")
+    sub = parser.add_subparsers(dest="scenario", required=True)
+
+    chord = sub.add_parser("chord", help="Chord on a transit-stub network under churn")
+    chord.add_argument("--nodes", type=int, default=50, help="Chord instances to deploy")
+    chord.add_argument("--hosts", type=int, default=None,
+                       help="physical hosts (default: nodes/2, min 8)")
+    chord.add_argument("--seed", type=int, default=0, help="root determinism seed")
+    chord.add_argument("--churn", action="store_true",
+                       help="replay the default churn script against the job")
+    chord.add_argument("--churn-script", type=str, default=None, metavar="FILE",
+                       help="replay a churn script from FILE instead of the default")
+    chord.add_argument("--lookups", type=int, default=200,
+                       help="measured lookups after the ring re-converges")
+    chord.add_argument("--bits", type=int, default=32, help="identifier width")
+    chord.add_argument("--join-window", type=float, default=None,
+                       help="joins are staggered over this many seconds "
+                            "(default: scales with --nodes)")
+    chord.add_argument("--settle", type=float, default=None,
+                       help="grace period after churn before measuring "
+                            "(default: scales with --nodes)")
+    chord.add_argument("--min-success", type=float, default=0.99,
+                       help="exit non-zero below this measured success rate")
+
+    args = parser.parse_args(argv)
+    if args.scenario == "chord":
+        script = None
+        if args.churn_script:
+            try:
+                with open(args.churn_script, "r", encoding="utf-8") as handle:
+                    script = handle.read()
+            except OSError as exc:
+                print(f"error: cannot read churn script: {exc}", file=sys.stderr)
+                return 2
+            try:
+                parse_churn_script(script)
+            except ValueError as exc:
+                print(f"error: invalid churn script {args.churn_script}: {exc}",
+                      file=sys.stderr)
+                return 2
+        report = run_chord_scenario(
+            nodes=args.nodes, hosts=args.hosts, seed=args.seed,
+            churn=args.churn, churn_script=script, lookups=args.lookups,
+            bits=args.bits, join_window=args.join_window, settle=args.settle)
+        _print_report(report)
+        ok = report["measured"]["success_rate"] >= args.min_success
+        if not ok:
+            print(f"FAIL: success rate below {100 * args.min_success:.0f}%",
+                  file=sys.stderr)
+        return 0 if ok else 2
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Address blacklists (part of the restricted socket's security layer).
+
+The security layer of the wrapped socket library can "limit ... the addresses
+that an application can or cannot connect to".  The administrator and the
+controller both express such limits as lists of IPs or CIDR masks; the
+stricter union of the two applies to every instance on a daemon.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+
+def _ip_to_int(ip: str) -> Optional[int]:
+    """Parse a dotted-quad IPv4 address into an int, or ``None`` if not IPv4."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        return None
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            return None
+        octet = int(part)
+        if octet > 255:
+            return None
+        value = (value << 8) | octet
+    return value
+
+
+class Blacklist:
+    """A set of forbidden addresses: exact IPs, CIDR masks, or hostnames.
+
+    Entries may be:
+
+    * a dotted-quad IPv4 address (``"10.0.0.5"``),
+    * a CIDR mask (``"10.0.0.0/24"``),
+    * ``"*"`` — forbid everything (used to cut an instance off entirely),
+    * any other string — matched exactly against the destination name
+      (the simulator allows symbolic host names).
+    """
+
+    def __init__(self, entries: Iterable[str] = ()):
+        self._exact: set[str] = set()
+        self._masks: List[Tuple[int, int]] = []  # (network, mask) pairs
+        self._all = False
+        for entry in entries:
+            self.add(entry)
+
+    # ------------------------------------------------------------------- edit
+    def add(self, entry: str) -> None:
+        """Add one entry (IP, CIDR mask, hostname or ``"*"``)."""
+        entry = entry.strip()
+        if not entry:
+            return
+        if entry == "*":
+            self._all = True
+            return
+        if "/" in entry:
+            base, _, prefix_text = entry.partition("/")
+            address = _ip_to_int(base)
+            prefix = int(prefix_text)
+            if address is None or not 0 <= prefix <= 32:
+                raise ValueError(f"malformed CIDR entry: {entry!r}")
+            mask = 0 if prefix == 0 else (0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF
+            self._masks.append((address & mask, mask))
+            return
+        self._exact.add(entry)
+
+    # ---------------------------------------------------------------- queries
+    def is_forbidden(self, ip: str) -> bool:
+        """True if ``ip`` matches any entry."""
+        if self._all:
+            return True
+        if ip in self._exact:
+            return True
+        if self._masks:
+            value = _ip_to_int(ip)
+            if value is not None:
+                for network, mask in self._masks:
+                    if value & mask == network:
+                        return True
+        return False
+
+    def merged_with(self, other: Optional["Blacklist"]) -> "Blacklist":
+        """Union of the two blacklists (stricter wins, per the policy merge)."""
+        merged = Blacklist()
+        merged._all = self._all or (other is not None and other._all)
+        merged._exact = set(self._exact)
+        merged._masks = list(self._masks)
+        if other is not None:
+            merged._exact |= other._exact
+            merged._masks.extend(other._masks)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._exact) + len(self._masks) + (1 if self._all else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._all:
+            return "<Blacklist *>"
+        return f"<Blacklist exact={sorted(self._exact)} masks={len(self._masks)}>"

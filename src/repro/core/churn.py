@@ -1,0 +1,215 @@
+"""Churn management: the script language and its replay engine.
+
+Section 3.2 of the paper describes a dedicated language "to specify churn
+behaviors ... composed of a list of timestamped events" that can reproduce
+both synthetic churn (periodic replacement of a fraction of the nodes) and
+real traces.  "Using churn scripts allows comparison of competing algorithms
+under the very same churn scenarios."
+
+The script language reproduced here (one directive per line, ``#`` comments):
+
+.. code-block:: text
+
+    at 30s  join 10          # start 10 new instances
+    at 2m   leave 5          # gracefully stop 5 random instances
+    at 2m   crash 10%        # abruptly kill 10% of the live instances
+    from 5m to 10m every 30s replace 5%   # continuous churn window
+    at 12m  stop             # stop the whole job
+
+Counts may be absolute (``5``) or a percentage of the currently-live
+instances (``10%``).  All randomness (victim selection, join placement) is
+drawn from deterministic substreams so that two runs with the same seed
+observe the exact same churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.lib.misc import parse_duration
+from repro.sim.rng import substream
+
+if TYPE_CHECKING:  # pragma: no cover - runtime objects are duck-typed here
+    from repro.core.jobs import Job
+    from repro.sim.kernel import Simulator
+
+#: directives understood by the parser/replayer
+_KINDS = ("join", "leave", "crash", "replace", "stop")
+
+
+@dataclass(frozen=True)
+class ChurnAction:
+    """One timestamped churn directive (times are relative to churn start)."""
+
+    time: float
+    kind: str
+    count: int = 0
+    fraction: Optional[float] = None
+
+    def resolve_count(self, live: int) -> int:
+        """Number of instances affected, given ``live`` running instances."""
+        if self.fraction is not None:
+            return max(1, round(live * self.fraction)) if live else 0
+        return self.count
+
+
+class ChurnScriptError(ValueError):
+    """Raised when a churn script cannot be parsed."""
+
+
+def _parse_amount(token: str) -> tuple[int, Optional[float]]:
+    if token.endswith("%"):
+        fraction = float(token[:-1]) / 100.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ChurnScriptError(f"churn percentage out of range: {token}")
+        return 0, fraction
+    return int(token), None
+
+
+def parse_churn_script(text: str) -> List[ChurnAction]:
+    """Parse a churn script into a time-ordered list of :class:`ChurnAction`.
+
+    ``from .. to .. every .. <kind> <amount>`` windows are expanded into
+    discrete actions at parse time, so the replayer only ever deals with
+    point events — which is also how trace-derived scripts look.
+    """
+    actions: List[ChurnAction] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        try:
+            if tokens[0] == "at":
+                when = parse_duration(tokens[1])
+                kind = tokens[2]
+                if kind == "stop":
+                    actions.append(ChurnAction(time=when, kind="stop"))
+                    continue
+                if kind not in _KINDS:
+                    raise ChurnScriptError(f"unknown directive: {kind}")
+                count, fraction = _parse_amount(tokens[3])
+                actions.append(ChurnAction(time=when, kind=kind, count=count, fraction=fraction))
+            elif tokens[0] == "from":
+                if tokens[2] != "to" or tokens[4] != "every":
+                    raise ChurnScriptError("expected 'from <t> to <t> every <dt> <kind> <amount>'")
+                start = parse_duration(tokens[1])
+                end = parse_duration(tokens[3])
+                step = parse_duration(tokens[5])
+                kind = tokens[6]
+                if kind not in ("join", "leave", "crash", "replace"):
+                    raise ChurnScriptError(f"unknown directive in window: {kind}")
+                count, fraction = _parse_amount(tokens[7])
+                if step <= 0 or end < start:
+                    raise ChurnScriptError("churn window must move forward in time")
+                when = start
+                while when <= end + 1e-9:
+                    actions.append(ChurnAction(time=when, kind=kind, count=count, fraction=fraction))
+                    when += step
+            else:
+                raise ChurnScriptError(f"directives start with 'at' or 'from', got {tokens[0]!r}")
+        except ChurnScriptError:
+            raise
+        except (IndexError, ValueError) as exc:
+            raise ChurnScriptError(f"line {line_no}: cannot parse {raw!r}: {exc}") from exc
+    actions.sort(key=lambda a: a.time)
+    return actions
+
+
+def synthetic_churn_script(duration: float, period: float = 30.0,
+                           fraction: float = 0.05, warmup: float = 0.0) -> str:
+    """Generate the classic synthetic-churn script: replace ``fraction`` of
+    the nodes every ``period`` seconds for ``duration`` seconds."""
+    pct = fraction * 100.0
+    return (f"# synthetic churn: replace {pct:g}% of the nodes every {period:g}s\n"
+            f"from {warmup + period:g}s to {warmup + duration:g}s every {period:g}s "
+            f"replace {pct:g}%\n")
+
+
+@dataclass
+class ChurnStats:
+    """Counters exposed by the churn manager (and printed by scenarios)."""
+
+    actions_applied: int = 0
+    instances_joined: int = 0
+    instances_left: int = 0
+    instances_crashed: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+
+class ChurnManager:
+    """Replays a churn script against one job through the controller.
+
+    The manager never touches application state directly: leaves and crashes
+    go through the controller's ``kill_instance`` (ultimately
+    :meth:`AppContext.kill`, exactly like a daemon tearing down a sandboxed
+    process) and joins go through ``start_instances``.
+    """
+
+    def __init__(self, sim: "Simulator", controller, job: "Job", seed: int = 0):
+        self.sim = sim
+        self.controller = controller
+        self.job = job
+        self.rng = substream(seed, "churn", job.job_id)
+        self.actions: List[ChurnAction] = []
+        self.stats = ChurnStats()
+        self._started = False
+
+    # ----------------------------------------------------------------- setup
+    def load_script(self, text: str) -> List[ChurnAction]:
+        self.actions = parse_churn_script(text)
+        return self.actions
+
+    def load_actions(self, actions: List[ChurnAction]) -> None:
+        """Replay a pre-built (e.g. trace-derived) action list."""
+        self.actions = sorted(actions, key=lambda a: a.time)
+
+    def start(self) -> None:
+        """Schedule every action relative to the current virtual time."""
+        if self._started:
+            raise RuntimeError("churn manager already started")
+        self._started = True
+        for action in self.actions:
+            self.sim.schedule(action.time, self._apply, action)
+
+    # ----------------------------------------------------------------- replay
+    def _apply(self, action: ChurnAction) -> None:
+        from repro.core.jobs import JobState  # local import to avoid cycles
+
+        if self.job.state is not JobState.RUNNING:
+            return
+        self.stats.actions_applied += 1
+        self.stats.by_kind[action.kind] = self.stats.by_kind.get(action.kind, 0) + 1
+        if action.kind == "stop":
+            self.controller.stop(self.job)
+            return
+        if action.kind in ("leave", "crash", "replace"):
+            victims = self._pick_victims(action)
+            for instance in victims:
+                self.controller.kill_instance(
+                    instance, reason=f"churn:{action.kind}@{self.sim.now:.1f}",
+                    failed=(action.kind == "crash"))
+                if action.kind == "crash":
+                    self.stats.instances_crashed += 1
+                else:
+                    self.stats.instances_left += 1
+            self.job.stats.churn_leaves += len(victims)
+            if action.kind == "replace":
+                self._join(len(victims))
+        elif action.kind == "join":
+            self._join(action.resolve_count(self.job.live_count))
+
+    def _pick_victims(self, action: ChurnAction) -> list:
+        live = self.job.live_instances()
+        count = min(action.resolve_count(len(live)), len(live))
+        if count <= 0:
+            return []
+        return self.rng.sample(live, count)
+
+    def _join(self, count: int) -> None:
+        if count <= 0:
+            return
+        started = self.controller.start_instances(self.job, count)
+        self.stats.instances_joined += len(started)
+        self.job.stats.churn_joins += len(started)

@@ -1,0 +1,138 @@
+"""Job descriptors and placement records (the controller's unit of work).
+
+A *job* is what a user submits to the controller: an application (here a
+Python factory instead of Lua code), the number of instances to deploy, and
+the restrictions the daemons must enforce (socket policy, disk quota, log
+budget).  The controller selects hosts, asks their daemons to spawn
+instances, and tracks the resulting placements; the churn manager then
+drives instance kills and joins against the same job record.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (lib -> core -> lib)
+    from repro.lib.sbsocket import SocketPolicy
+
+_job_ids = itertools.count(1)
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job on the controller."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    STOPPED = "stopped"
+    FAILED = "failed"
+
+
+@dataclass
+class JobSpec:
+    """Everything the user supplies when submitting a job.
+
+    ``app_factory`` is called once per instance with the runtime
+    :class:`~repro.runtime.splayd.Instance` handle (the equivalent of the
+    sandboxed Lua state receiving the ``job`` table); whatever it returns is
+    stored as the instance's application object.
+    """
+
+    name: str
+    app_factory: Callable[[Any], Any]
+    instances: int = 1
+    base_port: int = 20000
+    socket_policy: Optional["SocketPolicy"] = None
+    fs_max_bytes: Optional[int] = None
+    fs_max_files: Optional[int] = None
+    log_level: str = "INFO"
+    log_max_bytes: Optional[int] = None
+    churn_script: Optional[str] = None
+    #: free-form per-job options, exposed to instances as ``instance.options``
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.instances < 1:
+            raise ValueError("a job needs at least one instance")
+        if not callable(self.app_factory):
+            raise TypeError("app_factory must be callable")
+        if not 1 <= self.base_port <= 65535:
+            raise ValueError(f"base port out of range: {self.base_port}")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One instance's location, as recorded by the controller."""
+
+    instance_id: int
+    ip: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"i{self.instance_id}@{self.ip}:{self.port}"
+
+
+@dataclass
+class JobStats:
+    """Aggregated per-job counters maintained by the controller."""
+
+    instances_started: int = 0
+    instances_stopped: int = 0
+    instances_failed: int = 0
+    churn_joins: int = 0
+    churn_leaves: int = 0
+    log_records: int = 0
+
+
+class Job:
+    """The controller-side record of one submitted job.
+
+    ``job_id`` should be supplied by the controller (its per-deployment
+    counter) so that id-derived randomness is reproducible; the process-wide
+    fallback counter only serves standalone/test use.
+    """
+
+    def __init__(self, spec: JobSpec, created_at: float = 0.0,
+                 job_id: Optional[int] = None):
+        spec.validate()
+        self.job_id = job_id if job_id is not None else next(_job_ids)
+        self.spec = spec
+        self.state = JobState.PENDING
+        self.created_at = created_at
+        self.stats = JobStats()
+        #: live runtime instances (handles owned by the daemons)
+        self.instances: List[Any] = []
+        #: every placement ever made, live or dead (for log attribution)
+        self.placements: List[Placement] = []
+        #: shared mutable state visible to all instances (e.g. bootstrap ref)
+        self.shared: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------- bookkeeping
+    def record_start(self, instance: Any, placement: Placement) -> None:
+        self.instances.append(instance)
+        self.placements.append(placement)
+        self.stats.instances_started += 1
+
+    def record_stop(self, instance: Any, failed: bool = False) -> None:
+        if instance in self.instances:
+            self.instances.remove(instance)
+        if failed:
+            self.stats.instances_failed += 1
+        else:
+            self.stats.instances_stopped += 1
+
+    # ---------------------------------------------------------------- queries
+    def live_instances(self) -> List[Any]:
+        """Instances whose application context is still alive, in id order."""
+        live = [i for i in self.instances if i.alive]
+        live.sort(key=lambda i: i.instance_id)
+        return live
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for i in self.instances if i.alive)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Job #{self.job_id} {self.spec.name} {self.state.value} live={self.live_count}>"

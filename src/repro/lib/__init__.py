@@ -5,7 +5,7 @@ These modules mirror the library stack in Figure 5 of the paper:
 * :mod:`repro.lib.serializer` — ``llenc`` + ``json``: message framing and
   data-interchange encoding;
 * :mod:`repro.lib.rpc` — remote procedure calls (``call``, ``a_call``,
-  ``ping``, ``server``);
+  ``ping``, :class:`RpcService`);
 * :mod:`repro.lib.sbsocket` — the restricted (sandboxed) socket layer;
 * :mod:`repro.lib.sbfs` — the sandboxed virtual filesystem;
 * :mod:`repro.lib.logging` — local and remote (collector-based) logging;
@@ -15,26 +15,38 @@ These modules mirror the library stack in Figure 5 of the paper:
 """
 
 from repro.lib.ring import between, hash_key, ring_add, ring_distance
-from repro.lib.serializer import LLEncStream, decode, encode, estimate_size
-from repro.lib.rpc import RpcError, RpcService, RpcTimeout
+from repro.lib.serializer import LLEncStream, SerializationError, decode, encode, estimate_size
+from repro.lib.rpc import RpcError, RpcService, RpcStats, RpcTimeout, a_call, call
 from repro.lib.sbfs import SandboxedFS, SandboxFSError
-from repro.lib.sbsocket import RestrictedSocket, SocketPolicy, SocketRestrictionError
-from repro.lib.logging import LogLevel, SplayLogger
+from repro.lib.sbsocket import (
+    RestrictedSocket,
+    SocketPolicy,
+    SocketRestrictionError,
+    SocketStats,
+)
+from repro.lib.logging import LogBudget, LogLevel, LogRecord, SplayLogger
 from repro.lib import crypto, misc
 
 __all__ = [
     "LLEncStream",
+    "LogBudget",
     "LogLevel",
+    "LogRecord",
     "RestrictedSocket",
     "RpcError",
     "RpcService",
+    "RpcStats",
     "RpcTimeout",
     "SandboxFSError",
     "SandboxedFS",
+    "SerializationError",
     "SocketPolicy",
     "SocketRestrictionError",
+    "SocketStats",
     "SplayLogger",
+    "a_call",
     "between",
+    "call",
     "crypto",
     "decode",
     "encode",

@@ -1,0 +1,275 @@
+"""The ``rpc`` library: remote procedure calls over the restricted socket.
+
+"Communication between remote processes can also use ... RPCs, as this is
+the most common paradigm for distributed applications.  Communications use
+the sandboxed socket layer.  Errors (timeouts) are reported to the caller."
+
+The service-side object is :class:`RpcService`: it registers named handlers
+and dispatches incoming ``rpc`` messages addressed to its endpoint.  The
+client side offers two calling conventions mirroring the paper's API:
+
+* ``call`` — *synchronous* from the application's point of view: the
+  returned :class:`~repro.sim.futures.Future` is meant to be ``yield``-ed by
+  the calling coroutine, which resumes with the remote return value (or has
+  :class:`RpcTimeout`/:class:`RpcError` raised at the yield point);
+* ``a_call`` — *asynchronous*: the future is observed via callbacks (or
+  simply ignored, fire-and-forget).
+
+Both take per-call ``timeout`` and ``retries``.  Retries reuse the same call
+identifier, so a late reply to an earlier attempt still completes the call
+(at-least-once, idempotent-handler semantics — exactly what UDP RPC gives
+the original system).  All traffic flows through the
+:class:`~repro.lib.sbsocket.RestrictedSocket`, never the raw network, so
+socket policies apply uniformly to RPC traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.lib.sbsocket import RestrictedSocket, SocketRestrictionError
+from repro.net.address import Address, NodeRef
+from repro.net.message import Message
+from repro.sim.events_api import Events
+from repro.sim.futures import Future, FutureState
+from repro.sim.kernel import ScheduledEvent
+
+
+class RpcError(Exception):
+    """A remote handler raised, the method is unknown, or sending failed."""
+
+
+class RpcTimeout(RpcError):
+    """The call received no reply within its timeout (after all retries)."""
+
+
+@dataclass
+class RpcStats:
+    """Per-service counters (exposed to the daemon and to tests)."""
+
+    calls_sent: int = 0
+    calls_received: int = 0
+    replies_sent: int = 0
+    replies_received: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    remote_errors: int = 0
+    send_failures: int = 0
+
+
+#: payload keys — kept short since they travel in every RPC message
+_CALL, _REPLY = "call", "reply"
+
+_global_call_ids = itertools.count(1)
+
+
+class RpcService:
+    """Bidirectional RPC endpoint bound to one restricted socket.
+
+    Parameters
+    ----------
+    socket:
+        The instance's :class:`RestrictedSocket`; the service starts
+        listening on it immediately.
+    events:
+        The instance's :class:`Events` API, used to run generator handlers
+        as coroutines and to track timeout timers on the app context.
+    default_timeout / default_retries:
+        Applied when a call does not specify its own.  ``retries`` counts
+        *re*-transmissions: ``retries=2`` means up to three attempts.
+    """
+
+    def __init__(self, socket: RestrictedSocket, events: Events,
+                 default_timeout: float = 3.0, default_retries: int = 1):
+        self.socket = socket
+        self.events = events
+        self.sim = events.sim
+        self.default_timeout = default_timeout
+        self.default_retries = default_retries
+        self.stats = RpcStats()
+        self._handlers: Dict[str, Callable[..., Any]] = {"__ping__": lambda: True}
+        #: call_id -> (future, timeout timer)
+        self._pending: Dict[int, Tuple[Future, Optional[ScheduledEvent]]] = {}
+        socket.listen(self._on_message)
+        events.context.add_cleanup(self._cancel_pending)
+
+    # ------------------------------------------------------------ server side
+    def register(self, name: str, handler: Callable[..., Any]) -> None:
+        """Expose ``handler`` under ``name``; generators run as coroutines."""
+        self._handlers[name] = handler
+
+    def handler(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Decorator form of :meth:`register` (uses the function name)."""
+        self.register(fn.__name__, fn)
+        return fn
+
+    def expose(self, obj: Any, names: Optional[list] = None) -> None:
+        """Register public bound methods of ``obj`` (or the listed ones)."""
+        for name in names or [n for n in dir(obj) if not n.startswith("_")]:
+            method = getattr(obj, name)
+            if callable(method):
+                self.register(name, method)
+
+    def _on_message(self, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, dict) or "rpc" not in payload:
+            return  # not RPC traffic; other listeners may handle it
+        if payload["rpc"] == _CALL:
+            self._serve_call(message, payload)
+        elif payload["rpc"] == _REPLY:
+            self._accept_reply(payload)
+
+    def _serve_call(self, message: Message, payload: dict) -> None:
+        self.stats.calls_received += 1
+        call_id = payload.get("id")
+        method = payload.get("method", "")
+        args = payload.get("args", [])
+        handler = self._handlers.get(method)
+        if handler is None:
+            self._send_reply(message.src, call_id, ok=False,
+                             error=f"unknown method: {method}")
+            return
+        try:
+            result = handler(*args)
+        except Exception as exc:  # noqa: BLE001 - shipped back to the caller
+            self._send_reply(message.src, call_id, ok=False, error=repr(exc))
+            return
+        if _is_generator(result):
+            # Coroutine handler: run it on the app context, reply when done.
+            process = self.events.thread(lambda: result,
+                                         name=f"{self.events.context.name}.rpc.{method}")
+
+            def _finish(fut: Future) -> None:
+                if fut.state is FutureState.DONE:
+                    self._send_reply(message.src, call_id, ok=True, value=fut.result())
+                elif fut.state is FutureState.FAILED:
+                    self._send_reply(message.src, call_id, ok=False,
+                                     error=repr(fut.exception()))
+                # Cancelled (instance killed): no reply — the caller times out,
+                # exactly as with a crashed remote process.
+
+            process.done.add_done_callback(_finish)
+        else:
+            self._send_reply(message.src, call_id, ok=True, value=result)
+
+    def _send_reply(self, dst: Address, call_id: Any, ok: bool,
+                    value: Any = None, error: Optional[str] = None) -> None:
+        payload: Dict[str, Any] = {"rpc": _REPLY, "id": call_id, "ok": ok}
+        if ok:
+            payload["value"] = value
+        else:
+            payload["error"] = error
+        try:
+            self.socket.send(dst, payload, kind="rpc")
+            self.stats.replies_sent += 1
+        except SocketRestrictionError:
+            # The instance died or hit its budget mid-reply; the caller will
+            # observe a timeout, as with any crashed peer.
+            self.stats.send_failures += 1
+
+    # ------------------------------------------------------------ client side
+    def call(self, dst: "Address | NodeRef | dict | str", method: str, *args: Any,
+             timeout: Optional[float] = None, retries: Optional[int] = None) -> Future:
+        """Invoke ``method(*args)`` on ``dst``; yield the returned future.
+
+        The calling coroutine resumes with the remote return value;
+        :class:`RpcTimeout` or :class:`RpcError` is raised at the yield point
+        on failure.
+        """
+        return self.a_call(dst, method, *args, timeout=timeout, retries=retries)
+
+    def a_call(self, dst: "Address | NodeRef | dict | str", method: str, *args: Any,
+               timeout: Optional[float] = None, retries: Optional[int] = None) -> Future:
+        """Asynchronous variant of :meth:`call` (observe the future, or ignore it)."""
+        timeout = timeout if timeout is not None else self.default_timeout
+        attempts_left = (retries if retries is not None else self.default_retries) + 1
+        call_id = next(_global_call_ids)
+        result = Future(name=f"rpc:{method}#{call_id}")
+        payload = {"rpc": _CALL, "id": call_id, "method": method, "args": list(args)}
+        state = {"attempts_left": attempts_left, "first": True}
+
+        def _attempt() -> None:
+            if result.done():
+                return
+            state["attempts_left"] -= 1
+            if state["first"]:
+                state["first"] = False
+            else:
+                self.stats.retries += 1
+            self.stats.calls_sent += 1
+            try:
+                self.socket.send(dst, payload, kind="rpc")
+            except SocketRestrictionError as exc:
+                self.stats.send_failures += 1
+                self._pending.pop(call_id, None)
+                result.set_exception(RpcError(f"{method} to {dst}: {exc}"))
+                return
+            timer = self.sim.schedule(timeout, _on_timeout)
+            self._pending[call_id] = (result, timer)
+
+        def _on_timeout() -> None:
+            if result.done():
+                return
+            if state["attempts_left"] > 0:
+                _attempt()
+                return
+            self.stats.timeouts += 1
+            self._pending.pop(call_id, None)
+            result.set_exception(RpcTimeout(
+                f"{method} to {dst} timed out ({timeout:g}s x {attempts_left} attempts)"))
+
+        _attempt()
+        return result
+
+    def ping(self, dst: "Address | NodeRef | dict | str",
+             timeout: Optional[float] = None) -> Future:
+        """Liveness probe: the future completes with ``True``/``False`` (never raises)."""
+        result = Future(name="rpc.ping")
+        inner = self.a_call(dst, "__ping__", timeout=timeout, retries=0)
+        inner.add_done_callback(
+            lambda fut: result.set_result(fut.state is FutureState.DONE))
+        return result
+
+    def _accept_reply(self, payload: dict) -> None:
+        entry = self._pending.pop(payload.get("id"), None)
+        if entry is None:
+            return  # duplicate reply after a retry already completed the call
+        future, timer = entry
+        if timer is not None:
+            timer.cancel()
+        self.stats.replies_received += 1
+        if payload.get("ok"):
+            future.set_result(payload.get("value"))
+        else:
+            self.stats.remote_errors += 1
+            future.set_exception(RpcError(str(payload.get("error"))))
+
+    def _cancel_pending(self) -> None:
+        """Instance teardown: cancel timers and outstanding calls."""
+        pending, self._pending = self._pending, {}
+        for future, timer in pending.values():
+            if timer is not None:
+                timer.cancel()
+            future.cancel()
+
+    @property
+    def pending_calls(self) -> int:
+        return len(self._pending)
+
+
+def call(service: RpcService, dst: Any, method: str, *args: Any, **kwargs: Any) -> Future:
+    """Module-level convenience mirroring the paper's ``rpc.call(node, ...)``."""
+    return service.call(dst, method, *args, **kwargs)
+
+
+def a_call(service: RpcService, dst: Any, method: str, *args: Any, **kwargs: Any) -> Future:
+    """Module-level convenience mirroring the paper's ``rpc.a_call(node, ...)``."""
+    return service.a_call(dst, method, *args, **kwargs)
+
+
+def _is_generator(value: Any) -> bool:
+    from types import GeneratorType
+
+    return isinstance(value, GeneratorType)

@@ -45,11 +45,17 @@ class SocketPolicy:
 
     def merged_with(self, stricter: "SocketPolicy") -> "SocketPolicy":
         """Combine with controller-imposed restrictions (stricter wins)."""
+        if self.blacklist is None:
+            blacklist = stricter.blacklist
+        elif stricter.blacklist is None:
+            blacklist = self.blacklist
+        else:
+            blacklist = self.blacklist.merged_with(stricter.blacklist)
         return SocketPolicy(
             max_total_bytes=_stricter_limit(self.max_total_bytes, stricter.max_total_bytes),
             max_sockets=_stricter_limit(self.max_sockets, stricter.max_sockets),
             drop_rate=max(self.drop_rate, stricter.drop_rate),
-            blacklist=self.blacklist or stricter.blacklist,
+            blacklist=blacklist,
         )
 
 

@@ -42,8 +42,13 @@ class Transfer:
         self.cancelled = False
 
     @property
-    def duration_so_far(self) -> float:
+    def bytes_transferred(self) -> float:
+        """Bytes delivered so far (as of the last rate recomputation)."""
         return self.total_bytes - self.remaining_bytes
+
+    def duration_so_far(self, now: float) -> float:
+        """Elapsed time since the transfer started, in seconds."""
+        return max(0.0, now - self.started_at)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<Transfer #{self.transfer_id} {self.src_ip}->{self.dst_ip} "

@@ -1,0 +1,27 @@
+"""The SPLAY runtime: daemons (``splayd``) and the controller (``splayctl``).
+
+This package reproduces the deployment side of the system: "splayd daemons
+run on participating hosts and instantiate applications in sandboxed
+processes; the controller (splayctl) manages applications, selects hosts,
+deploys code, and collects logs and statistics."
+
+* :mod:`repro.runtime.splayd` — the per-host daemon: enforces the merged
+  socket policy and filesystem quotas, spawns each application instance in a
+  fresh :class:`~repro.sim.events_api.AppContext`, and tears instances down
+  on request (controller command, churn, or host failure);
+* :mod:`repro.runtime.controller` — splayctl: daemon registry, job
+  submission, host selection, start/stop/churn of jobs, and the log
+  collector.
+"""
+
+from repro.runtime.splayd import Host, Instance, Splayd, SplaydError, SplaydLimits
+from repro.runtime.controller import Controller
+
+__all__ = [
+    "Controller",
+    "Host",
+    "Instance",
+    "Splayd",
+    "SplaydError",
+    "SplaydLimits",
+]

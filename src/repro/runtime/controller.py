@@ -1,0 +1,193 @@
+"""``splayctl``: the controller.
+
+"The controller manages applications: it registers daemons, lets users
+submit jobs, selects appropriate hosts, instructs daemons to start or stop
+application instances, and collects logs and statistics."  It is also the
+component the churn manager drives: leaves and crashes become
+``kill_instance`` commands, joins become ``start_instances``.
+
+The control plane itself (daemon registration, job commands) is modelled as
+instantaneous — the paper's controller uses a separate reliable channel
+whose latency is irrelevant to the measured application behaviour.  All
+*application* traffic flows through the daemons' restricted sockets on the
+simulated network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.churn import ChurnManager
+from repro.core.jobs import Job, JobSpec, JobState, Placement
+from repro.lib.logging import LogRecord
+from repro.net.network import Network
+from repro.runtime.splayd import Instance, Splayd, SplaydError
+from repro.sim.kernel import Simulator
+from repro.sim.rng import substream
+
+
+class ControllerError(Exception):
+    """Raised on invalid job commands (unknown job, no capacity, ...)."""
+
+
+class Controller:
+    """The central coordination point of a deployment."""
+
+    def __init__(self, sim: Simulator, network: Network, seed: Optional[int] = None):
+        self.sim = sim
+        self.network = network
+        self.daemons: Dict[str, Splayd] = {}
+        self.jobs: Dict[int, Job] = {}
+        #: job_id -> collected log records (shipped by instance loggers)
+        self.logs: Dict[int, List[LogRecord]] = {}
+        self.churn_managers: Dict[int, ChurnManager] = {}
+        self._rng = substream(seed if seed is not None else sim.seed, "controller")
+
+    # ---------------------------------------------------------------- daemons
+    def register_daemon(self, daemon: Splayd) -> None:
+        """Register a daemon (normally done by the splayd at boot)."""
+        if daemon.ip in self.daemons:
+            raise ControllerError(f"daemon already registered for {daemon.ip}")
+        self.daemons[daemon.ip] = daemon
+        daemon.controller = self
+
+    def alive_daemons(self) -> List[Splayd]:
+        return [d for d in self.daemons.values() if d.alive]
+
+    # ------------------------------------------------------------------- jobs
+    def submit(self, spec: JobSpec) -> Job:
+        """Accept a job for deployment; returns the pending job record."""
+        job = Job(spec, created_at=self.sim.now, job_id=len(self.jobs) + 1)
+        self.jobs[job.job_id] = job
+        self.logs.setdefault(job.job_id, [])
+        return job
+
+    def start(self, job: Job) -> List[Instance]:
+        """Deploy the job: select hosts and spawn every requested instance.
+
+        If the job's spec carries a churn script, a churn manager is created
+        and started alongside (its action times are relative to this call).
+        """
+        if job.state is not JobState.PENDING:
+            raise ControllerError(f"job #{job.job_id} is {job.state.value}, not pending")
+        job.state = JobState.RUNNING
+        instances = self.start_instances(job, job.spec.instances)
+        if len(instances) < job.spec.instances:
+            # Partial deployment is a failed deployment: tear the already
+            # placed instances down so nothing keeps running unmanaged.
+            placed = len(instances)
+            for instance in instances:
+                self.kill_instance(instance, reason="deployment failed")
+            job.state = JobState.FAILED
+            raise ControllerError(
+                f"job #{job.job_id}: only {placed}/{job.spec.instances} "
+                f"instances could be placed")
+        if job.spec.churn_script:
+            churn = ChurnManager(self.sim, self, job, seed=self.sim.seed)
+            churn.load_script(job.spec.churn_script)
+            churn.start()
+            self.churn_managers[job.job_id] = churn
+        return instances
+
+    def start_instances(self, job: Job, count: int) -> List[Instance]:
+        """Spawn ``count`` additional instances on selected hosts.
+
+        Host selection is uniform over alive daemons with spare capacity,
+        re-evaluated per instance (so a daemon filling up drops out).  Fewer
+        than ``count`` instances are returned when capacity runs out.
+        """
+        started: List[Instance] = []
+        for _ in range(count):
+            daemon = self._select_daemon(job)
+            if daemon is None:
+                break
+            instance_id = len(job.placements)
+            try:
+                instance = daemon.spawn(job, instance_id)
+            except SplaydError:
+                continue
+            placement = Placement(instance_id=instance_id, ip=daemon.ip,
+                                  port=instance.address.port)
+            job.record_start(instance, placement)
+            started.append(instance)
+        return started
+
+    def _select_daemon(self, job: Job) -> Optional[Splayd]:
+        candidates = [d for d in self.alive_daemons() if d.has_capacity()]
+        if not candidates:
+            return None
+        # Prefer emptier daemons (balanced placement) with a random tiebreak,
+        # keyed on ip so the choice is stable across runs with one seed.
+        candidates.sort(key=lambda d: (len(d.instances), d.ip))
+        emptiest = len(candidates[0].instances)
+        pool = [d for d in candidates if len(d.instances) == emptiest]
+        return self._rng.choice(pool)
+
+    # ---------------------------------------------------------------- control
+    def kill_instance(self, instance: Instance, reason: str = "controller stop",
+                      failed: bool = False) -> None:
+        """Stop one instance through its daemon (used directly by churn)."""
+        instance.daemon.stop_instance(instance, reason=reason)
+        instance.job.record_stop(instance, failed=failed)
+
+    def stop(self, job: Job) -> None:
+        """Stop every instance of a job and mark it stopped."""
+        if job.state in (JobState.STOPPED, JobState.FAILED):
+            return
+        for instance in list(job.instances):
+            self.kill_instance(instance, reason=f"job #{job.job_id} stopped")
+        job.state = JobState.STOPPED
+
+    def fail_host(self, ip: str) -> int:
+        """Simulate a host failure (all its instances across all jobs die)."""
+        daemon = self.daemons.get(ip)
+        if daemon is None:
+            raise ControllerError(f"no daemon on {ip}")
+        victims = [i for i in daemon.instances]
+        killed = daemon.fail()
+        for instance in victims:
+            instance.job.record_stop(instance, failed=True)
+        return killed
+
+    # ------------------------------------------------------------------- logs
+    def make_log_sink(self, job: Job) -> Callable[[LogRecord], None]:
+        """Build the remote sink daemons wire into instance loggers."""
+        records = self.logs.setdefault(job.job_id, [])
+
+        def _collect(record: LogRecord) -> None:
+            record.job_id = job.job_id
+            records.append(record)
+            job.stats.log_records += 1
+
+        return _collect
+
+    def job_logs(self, job: Job, level: Optional[str] = None) -> List[LogRecord]:
+        records = self.logs.get(job.job_id, [])
+        if level is None:
+            return list(records)
+        from repro.lib.logging import LogLevel
+
+        minimum = LogLevel.coerce(level)
+        return [r for r in records if r.level >= minimum]
+
+    # ------------------------------------------------------------------ stats
+    def job_status(self, job: Job) -> Dict[str, object]:
+        """Controller-side summary of one job (printed by scenarios)."""
+        sockets = [i.socket.stats for i in job.instances]
+        return {
+            "job_id": job.job_id,
+            "name": job.spec.name,
+            "state": job.state.value,
+            "live_instances": job.live_count,
+            "instances_started": job.stats.instances_started,
+            "instances_stopped": job.stats.instances_stopped,
+            "instances_failed": job.stats.instances_failed,
+            "churn_joins": job.stats.churn_joins,
+            "churn_leaves": job.stats.churn_leaves,
+            "log_records": job.stats.log_records,
+            "bytes_sent": sum(s.bytes_sent for s in sockets),
+            "messages_sent": sum(s.messages_sent for s in sockets),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Controller daemons={len(self.daemons)} jobs={len(self.jobs)}>"

@@ -1,0 +1,239 @@
+"""``splayd``: the per-host daemon.
+
+"A splayd instantiates, stops, and monitors applications on one host.  Each
+application instance runs in a sandboxed process; the local administrator
+sets resource limits that the controller can only further restrict."
+
+In this reproduction a :class:`Splayd` owns one simulated :class:`Host` on
+the network.  Spawning an instance creates a fresh
+:class:`~repro.sim.events_api.AppContext` plus the full sandbox stack around
+it — restricted socket (merged policy), sandboxed filesystem (merged
+quotas), logger (wired to the controller's collector) and RPC service — and
+then hands the bundle to the job's application factory.  Killing the context
+tears everything down instantly, which is exactly what churn exploits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.core.jobs import Job
+from repro.lib.logging import LogBudget, SplayLogger
+from repro.lib.rpc import RpcService
+from repro.lib.sbfs import SandboxedFS
+from repro.lib.sbsocket import RestrictedSocket, SocketPolicy
+from repro.net.address import Address, NodeRef
+from repro.net.network import Network
+from repro.sim.events_api import AppContext, Events
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.controller import Controller
+
+
+class SplaydError(Exception):
+    """Raised when a daemon cannot satisfy a controller request."""
+
+
+class Host:
+    """The simulated machine a daemon runs on (registered with the network)."""
+
+    def __init__(self, ip: str):
+        self.ip = ip
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.ip} {'up' if self.alive else 'down'}>"
+
+
+@dataclass
+class SplaydLimits:
+    """Local administrator limits; the controller can only tighten them."""
+
+    max_instances: Optional[int] = None
+    socket_policy: SocketPolicy = field(default_factory=SocketPolicy)
+    fs_max_bytes: Optional[int] = None
+    fs_max_files: Optional[int] = None
+    log_max_bytes: Optional[int] = None
+
+
+class Instance:
+    """One sandboxed application instance (the runtime's ``job`` handle).
+
+    This is the object handed to the application factory — the equivalent of
+    the ``job`` table a SPLAY application receives: ``instance.me`` is the
+    node's own reference, ``instance.events``/``rpc``/``fs``/``logger`` are
+    the sandboxed libraries, and ``instance.options`` carries the job's
+    deployment options.
+    """
+
+    _serials = itertools.count(1)
+
+    def __init__(self, job: Job, instance_id: int, daemon: "Splayd",
+                 context: AppContext, events: Events, socket: RestrictedSocket,
+                 rpc: RpcService, fs: SandboxedFS, logger: SplayLogger):
+        self.serial = next(Instance._serials)
+        self.job = job
+        self.instance_id = instance_id
+        self.daemon = daemon
+        self.context = context
+        self.events = events
+        self.socket = socket
+        self.rpc = rpc
+        self.fs = fs
+        self.logger = logger
+        self.me = NodeRef(socket.local.ip, socket.local.port)
+        self.options: Dict[str, Any] = dict(job.spec.options)
+        #: set by the daemon after the app factory runs
+        self.app: Any = None
+
+    @property
+    def alive(self) -> bool:
+        return self.context.alive
+
+    @property
+    def address(self) -> Address:
+        return self.socket.local
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"<Instance {self.job.spec.name}.i{self.instance_id}@{self.address} {state}>"
+
+
+class Splayd:
+    """The daemon process of one host.
+
+    Parameters
+    ----------
+    sim / network:
+        Simulation substrate.  The daemon registers its :class:`Host` with
+        the network on construction.
+    ip:
+        The host's address on the simulated network.
+    limits:
+        Local resource limits, merged with (and never loosened by) each
+        job's own restrictions.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, ip: str,
+                 limits: Optional[SplaydLimits] = None):
+        self.sim = sim
+        self.network = network
+        self.host = Host(ip)
+        self.limits = limits or SplaydLimits()
+        self.controller: Optional["Controller"] = None
+        self.instances: List[Instance] = []
+        self._allocated_ports: set[int] = set()
+        self.spawned_total = 0
+        self.killed_total = 0
+        network.add_host(self.host)
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def ip(self) -> str:
+        return self.host.ip
+
+    @property
+    def alive(self) -> bool:
+        return self.host.alive
+
+    @property
+    def free_slots(self) -> Optional[int]:
+        """Remaining instance capacity (``None`` = unlimited)."""
+        if self.limits.max_instances is None:
+            return None
+        return max(0, self.limits.max_instances - len(self.instances))
+
+    def has_capacity(self) -> bool:
+        return self.alive and (self.free_slots is None or self.free_slots > 0)
+
+    # ------------------------------------------------------------------ spawn
+    def spawn(self, job: Job, instance_id: int) -> Instance:
+        """Instantiate one sandboxed application instance for ``job``."""
+        if not self.host.alive:
+            raise SplaydError(f"host {self.ip} is down")
+        if not self.has_capacity():
+            raise SplaydError(f"daemon {self.ip} is at capacity "
+                              f"({self.limits.max_instances} instances)")
+        port = self._allocate_port(job.spec.base_port)
+        name = f"{job.spec.name}#{job.job_id}.i{instance_id}@{self.ip}:{port}"
+        context = AppContext(self.sim, name=name)
+        events = Events(self.sim, context)
+        policy = self.limits.socket_policy
+        if job.spec.socket_policy is not None:
+            policy = policy.merged_with(job.spec.socket_policy)
+        socket = RestrictedSocket(self.network, context, Address(self.ip, port),
+                                  policy=policy, seed=self.sim.seed)
+        fs = SandboxedFS(
+            max_bytes=_stricter(self.limits.fs_max_bytes, job.spec.fs_max_bytes),
+            max_open_files=_stricter(None, job.spec.fs_max_files))
+        sink = None
+        if self.controller is not None:
+            sink = self.controller.make_log_sink(job)
+        logger = SplayLogger(
+            source=name, level=job.spec.log_level, remote_sink=sink,
+            budget=LogBudget(max_bytes=_stricter(self.limits.log_max_bytes,
+                                                 job.spec.log_max_bytes)),
+            clock=lambda: self.sim.now)
+        rpc = RpcService(socket, events)
+        instance = Instance(job, instance_id, self, context, events, socket, rpc, fs, logger)
+        self.instances.append(instance)
+        self.spawned_total += 1
+
+        def _reap() -> None:
+            if instance in self.instances:
+                self.instances.remove(instance)
+            self._allocated_ports.discard(port)
+            socket.close()
+            fs.wipe()
+
+        context.add_cleanup(_reap)
+        instance.app = job.spec.app_factory(instance)
+        return instance
+
+    def _allocate_port(self, base_port: int) -> int:
+        port = base_port
+        while port in self._allocated_ports or self.network.is_listening(Address(self.ip, port)):
+            port += 1
+            if port > 65535:
+                raise SplaydError(f"no free port on {self.ip} at or above {base_port}")
+        self._allocated_ports.add(port)
+        return port
+
+    # ------------------------------------------------------------------- stop
+    def stop_instance(self, instance: Instance, reason: str = "stopped") -> None:
+        """Tear one instance down (kills its context; cleanups do the rest)."""
+        if instance.daemon is not self:
+            raise SplaydError("instance belongs to another daemon")
+        if instance.alive:
+            self.killed_total += 1
+        instance.context.kill(reason)
+
+    def fail(self) -> int:
+        """Simulate a host failure: every instance dies, traffic is dropped."""
+        if not self.host.alive:
+            return 0
+        self.host.alive = False
+        victims = list(self.instances)
+        for instance in victims:
+            self.stop_instance(instance, reason=f"host failure: {self.ip}")
+        self.network.bandwidth.cancel_host(self.ip)
+        return len(victims)
+
+    def recover(self) -> None:
+        """Bring a failed host back (with no instances, like a fresh boot)."""
+        self.host.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Splayd {self.ip} {'up' if self.alive else 'down'} "
+                f"instances={len(self.instances)}>")
+
+
+def _stricter(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)

@@ -99,10 +99,17 @@ class Process:
                 pass
             except Exception:
                 # Application cleanup code misbehaving must not take down the
-                # simulator; the process is being killed regardless.
+                # simulator; the process is being killed regardless.  This
+                # also covers a coroutine killing *itself* (e.g. via
+                # events.exit()): throw/close on the currently-executing
+                # generator raise ValueError, and the _step frame driving it
+                # observes _killed and stops at the next opportunity.
                 pass
             finally:
-                self._generator.close()
+                try:
+                    self._generator.close()
+                except Exception:
+                    pass
         self.done.cancel()
 
     @property

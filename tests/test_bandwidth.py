@@ -1,0 +1,74 @@
+"""Bandwidth model: max-min fairness and transfer accounting."""
+
+import pytest
+
+from repro.net.bandwidth import BandwidthModel
+from repro.sim.kernel import Simulator
+
+
+def test_equal_flows_share_the_bottleneck_uplink():
+    sim = Simulator()
+    bw = BandwidthModel(sim)
+    bw.set_capacity("A", 8_000_000, None)  # 8 Mbps uplink = 1 MB/s
+    one_mb = 1_000_000
+    t1 = bw.transfer("A", "B", one_mb)
+    t2 = bw.transfer("A", "C", one_mb)
+    assert t1.rate_bps == pytest.approx(4_000_000)
+    assert t2.rate_bps == pytest.approx(4_000_000)
+    sim.run()
+    # Two 1 MB flows sharing 1 MB/s finish together at t = 2 s.
+    assert t1.done.result() == pytest.approx(2.0)
+    assert t2.done.result() == pytest.approx(2.0)
+    assert bw.completed == 2
+
+
+def test_max_min_gives_leftover_capacity_to_unconstrained_flow():
+    sim = Simulator()
+    bw = BandwidthModel(sim)
+    bw.set_capacity("A", 8_000_000, None)
+    bw.set_capacity("B", None, 2_000_000)  # B's downlink is the narrow link
+    t_ab = bw.transfer("A", "B", 10_000_000)
+    t_ac = bw.transfer("A", "C", 10_000_000)
+    # Progressive filling: A->B capped at 2 Mbps by B's downlink; A->C takes
+    # the remaining 6 Mbps of A's uplink.
+    assert t_ab.rate_bps == pytest.approx(2_000_000)
+    assert t_ac.rate_bps == pytest.approx(6_000_000)
+
+
+def test_rates_rebalance_when_a_flow_completes():
+    sim = Simulator()
+    bw = BandwidthModel(sim)
+    bw.set_capacity("A", 8_000_000, None)
+    short = bw.transfer("A", "B", 500_000)
+    long = bw.transfer("A", "C", 2_000_000)
+    sim.run(until=1.01)  # short flow (0.5 MB at 0.5 MB/s) finishes at t = 1 s
+    assert short.done.done()
+    assert long.rate_bps == pytest.approx(8_000_000)
+    sim.run()
+    # long: 0.5 MB in the first second, the remaining 1.5 MB at 1 MB/s.
+    assert long.done.result() == pytest.approx(2.5)
+
+
+def test_cancel_host_aborts_its_transfers():
+    sim = Simulator()
+    bw = BandwidthModel(sim)
+    bw.set_capacity("A", 8_000_000, None)
+    doomed = bw.transfer("A", "B", 1_000_000)
+    other = bw.transfer("C", "D", 1_000_000)
+    assert bw.cancel_host("A") == 1
+    assert doomed.done.cancelled()
+    sim.run()
+    assert other.done.done() and not other.done.cancelled()
+
+
+def test_transfer_progress_and_duration_accounting():
+    sim = Simulator()
+    bw = BandwidthModel(sim)
+    bw.set_capacity("A", 8_000_000, None)  # 1 MB/s
+    transfer = bw.transfer("A", "B", 2_000_000)
+    sim.run(until=1.0)
+    # Trigger a progress update by starting another flow at t = 1 s.
+    bw.transfer("A", "C", 1)
+    assert transfer.bytes_transferred == pytest.approx(1_000_000, rel=0.01)
+    assert transfer.duration_so_far(sim.now) == pytest.approx(1.0)
+    assert transfer.duration_so_far(0.5) == pytest.approx(0.5)

@@ -1,0 +1,95 @@
+"""Blacklist matching and socket policy enforcement."""
+
+import pytest
+
+from repro.core.blacklist import Blacklist
+from repro.lib.sbsocket import (
+    RestrictedSocket,
+    SocketPolicy,
+    SocketRestrictionError,
+)
+from repro.net.address import Address
+from repro.net.network import Network
+from repro.sim.events_api import AppContext
+from repro.sim.kernel import Simulator
+
+
+def test_blacklist_exact_and_cidr_matching():
+    blacklist = Blacklist(["10.0.0.5", "192.168.1.0/24"])
+    assert blacklist.is_forbidden("10.0.0.5")
+    assert not blacklist.is_forbidden("10.0.0.6")
+    assert blacklist.is_forbidden("192.168.1.1")
+    assert blacklist.is_forbidden("192.168.1.254")
+    assert not blacklist.is_forbidden("192.168.2.1")
+
+
+def test_blacklist_wildcard_and_hostnames():
+    assert Blacklist(["*"]).is_forbidden("1.2.3.4")
+    named = Blacklist(["badhost"])
+    assert named.is_forbidden("badhost")
+    assert not named.is_forbidden("goodhost")
+
+
+def test_blacklist_merge_is_a_union():
+    merged = Blacklist(["10.0.0.1"]).merged_with(Blacklist(["10.1.0.0/16"]))
+    assert merged.is_forbidden("10.0.0.1")
+    assert merged.is_forbidden("10.1.2.3")
+    assert not merged.is_forbidden("10.2.0.1")
+
+
+def test_malformed_cidr_rejected():
+    with pytest.raises(ValueError):
+        Blacklist(["10.0.0.0/40"])
+    with pytest.raises(ValueError):
+        Blacklist(["nonsense/8"])
+
+
+def test_policy_merge_unions_both_blacklists():
+    local = SocketPolicy(blacklist=Blacklist(["10.9.0.0/16"]))
+    remote = SocketPolicy(blacklist=Blacklist(["10.0.0.5"]))
+    merged = local.merged_with(remote)
+    assert merged.blacklist.is_forbidden("10.9.1.2")
+    assert merged.blacklist.is_forbidden("10.0.0.5")
+
+
+def test_policy_merge_keeps_the_stricter_limit():
+    local = SocketPolicy(max_total_bytes=1000, drop_rate=0.1,
+                        blacklist=Blacklist(["10.0.0.9"]))
+    remote = SocketPolicy(max_total_bytes=500, max_sockets=2, drop_rate=0.05)
+    merged = local.merged_with(remote)
+    assert merged.max_total_bytes == 500
+    assert merged.max_sockets == 2
+    assert merged.drop_rate == 0.1
+    assert merged.blacklist.is_forbidden("10.0.0.9")
+
+
+def test_restricted_socket_refuses_blacklisted_destination():
+    sim = Simulator()
+    network = Network(sim)
+
+    class _Host:
+        ip, alive = "10.0.0.1", True
+
+    network.add_host(_Host())
+    context = AppContext(sim)
+    policy = SocketPolicy(blacklist=Blacklist(["10.9.0.0/16"]))
+    socket = RestrictedSocket(network, context, Address("10.0.0.1", 1), policy=policy)
+    with pytest.raises(SocketRestrictionError, match="blacklisted"):
+        socket.send("10.9.1.2:2000", "payload")
+    assert socket.stats.messages_refused == 1
+
+
+def test_restricted_socket_enforces_traffic_budget():
+    sim = Simulator()
+    network = Network(sim)
+
+    class _Host:
+        ip, alive = "10.0.0.1", True
+
+    network.add_host(_Host())
+    context = AppContext(sim)
+    socket = RestrictedSocket(network, context, Address("10.0.0.1", 1),
+                              policy=SocketPolicy(max_total_bytes=50))
+    socket.send("10.0.0.1:9", "x", size=40)
+    with pytest.raises(SocketRestrictionError, match="budget"):
+        socket.send("10.0.0.1:9", "x", size=40)

@@ -1,0 +1,119 @@
+"""Churn: script parsing and deterministic replay against a job."""
+
+import pytest
+
+from repro.core.churn import (
+    ChurnManager,
+    ChurnScriptError,
+    parse_churn_script,
+    synthetic_churn_script,
+)
+from repro.core.jobs import JobSpec
+from repro.net.network import Network
+from repro.runtime.controller import Controller
+from repro.runtime.splayd import Splayd, SplaydLimits
+from repro.sim.kernel import Simulator
+
+
+def test_parse_point_events_with_units_and_comments():
+    actions = parse_churn_script("""
+        # warmup, then kill things
+        at 30s join 10
+        at 2m leave 5
+        at 2m crash 10%
+        at 300s stop
+    """)
+    assert [(a.time, a.kind) for a in actions] == [
+        (30.0, "join"), (120.0, "leave"), (120.0, "crash"), (300.0, "stop")]
+    assert actions[1].count == 5
+    assert actions[2].fraction == pytest.approx(0.10)
+
+
+def test_window_expands_into_discrete_actions():
+    actions = parse_churn_script("from 60s to 180s every 60s replace 2\n")
+    assert [(a.time, a.kind, a.count) for a in actions] == [
+        (60.0, "replace", 2), (120.0, "replace", 2), (180.0, "replace", 2)]
+
+
+def test_percentage_resolves_against_live_count():
+    (action,) = parse_churn_script("at 10s crash 10%")
+    assert action.resolve_count(50) == 5
+    assert action.resolve_count(3) == 1  # at least one victim when any live
+    assert action.resolve_count(0) == 0
+
+
+def test_malformed_scripts_are_rejected():
+    for bad in ("at 10s frobnicate 3", "from 10s until 20s join 1",
+                "leave 5", "at tens join 1", "at 10s crash 150%"):
+        with pytest.raises((ChurnScriptError, ValueError)):
+            parse_churn_script(bad)
+
+
+def test_synthetic_script_round_trips_through_the_parser():
+    script = synthetic_churn_script(duration=300, period=60, fraction=0.10)
+    actions = parse_churn_script(script)
+    assert len(actions) == 5
+    assert all(a.kind == "replace" and a.fraction == pytest.approx(0.10)
+               for a in actions)
+
+
+def _deploy(seed=0, instances=10, churn_script=None):
+    sim = Simulator(seed)
+    network = Network(sim, seed=seed)
+    controller = Controller(sim, network, seed=seed)
+    for i in range(5):
+        controller.register_daemon(
+            Splayd(sim, network, f"10.0.0.{i + 1}", SplaydLimits(max_instances=6)))
+    spec = JobSpec(name="noop", app_factory=lambda instance: object(),
+                   instances=instances, churn_script=churn_script)
+    job = controller.submit(spec)
+    controller.start(job)
+    return sim, controller, job
+
+
+def test_churn_manager_replays_leaves_and_joins():
+    sim, controller, job = _deploy(
+        instances=10, churn_script="at 10s leave 3\nat 20s join 2\n")
+    assert job.live_count == 10
+    sim.run(until=15.0)
+    assert job.live_count == 7
+    sim.run(until=25.0)
+    assert job.live_count == 9
+    churn = controller.churn_managers[job.job_id]
+    assert churn.stats.instances_left == 3
+    assert churn.stats.instances_joined == 2
+    # Graceful leaves are clean stops, not failures.
+    assert job.stats.instances_stopped == 3
+    assert job.stats.instances_failed == 0
+
+
+def test_replace_keeps_population_steady():
+    sim, controller, job = _deploy(
+        instances=10, churn_script="from 10s to 50s every 10s replace 20%\n")
+    sim.run(until=60.0)
+    assert job.live_count == 10
+    churn = controller.churn_managers[job.job_id]
+    assert churn.stats.instances_left == churn.stats.instances_joined == 10
+    assert job.stats.churn_leaves == job.stats.churn_joins == 10
+
+
+def test_victim_selection_is_deterministic_per_seed():
+    def victims(seed):
+        sim, controller, job = _deploy(seed=seed, instances=8,
+                                       churn_script="at 5s crash 50%\n")
+        before = {i.instance_id for i in job.live_instances()}
+        sim.run(until=6.0)
+        after = {i.instance_id for i in job.live_instances()}
+        assert job.stats.instances_failed == len(before - after)  # crash = failure
+        return tuple(sorted(before - after))
+
+    assert victims(3) == victims(3)
+
+
+def test_stop_directive_stops_the_job():
+    from repro.core.jobs import JobState
+
+    sim, _controller, job = _deploy(instances=4, churn_script="at 5s stop\n")
+    sim.run(until=10.0)
+    assert job.state is JobState.STOPPED
+    assert job.live_count == 0

@@ -1,0 +1,81 @@
+"""Kernel: virtual clock, event ordering, determinism."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+
+
+def test_same_instant_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(1.0, order.append, "b")
+    sim.schedule(0.5, order.append, "c")
+    sim.schedule(1.0, order.append, "d")
+    sim.run()
+    assert order == ["c", "a", "b", "d"]
+
+
+def test_run_until_advances_clock_without_firing_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "late")
+    assert sim.run(until=2.0) == 2.0
+    assert fired == []
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["late"]
+    assert sim.now == 5.0
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(1.0, fired.append, "y")
+    event.cancel()
+    sim.run()
+    assert fired == ["y"]
+    assert not event.pending
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_event_callbacks_scheduling_more_events():
+    sim = Simulator()
+    ticks = []
+
+    def tick():
+        ticks.append(sim.now)
+        if len(ticks) < 3:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    sim.run()
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_two_seeded_runs_produce_identical_traces():
+    def trace(seed):
+        sim = Simulator(seed)
+        out = []
+
+        def step(label):
+            out.append((round(sim.now, 9), label, sim.rng.random()))
+            if len(out) < 50:
+                sim.schedule(sim.rng.uniform(0.0, 2.0), step, label + 1)
+
+        sim.schedule(0.0, step, 0)
+        sim.run()
+        return out
+
+    assert trace(42) == trace(42)
+    assert trace(42) != trace(43)

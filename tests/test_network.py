@@ -1,0 +1,106 @@
+"""Network: delivery, drop paths, listener lifecycle."""
+
+import pytest
+
+from repro.net.address import Address
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.sim.events_api import AppContext
+from repro.sim.kernel import Simulator
+
+
+class _Host:
+    def __init__(self, ip):
+        self.ip = ip
+        self.alive = True
+
+
+def _net(seed=0, **kwargs):
+    sim = Simulator(seed)
+    network = Network(sim, latency=ConstantLatency(0.010), seed=seed, **kwargs)
+    a, b = _Host("10.0.0.1"), _Host("10.0.0.2")
+    network.add_host(a)
+    network.add_host(b)
+    return sim, network, a, b
+
+
+def test_send_delivers_to_live_listener_after_latency():
+    sim, network, _a, _b = _net()
+    src, dst = Address("10.0.0.1", 1), Address("10.0.0.2", 2)
+    inbox = []
+    network.listen(dst, inbox.append)
+    outcome = network.send(src, dst, {"hello": 1}, size=100)
+    assert not outcome.done()
+    sim.run()
+    assert outcome.result() is True
+    assert len(inbox) == 1
+    assert inbox[0].payload == {"hello": 1}
+    assert inbox[0].src == src
+    assert network.stats.messages_delivered == 1
+    assert sim.now == pytest.approx(0.010, rel=0.01)
+
+
+def test_send_to_dead_host_is_dropped_immediately():
+    sim, network, _a, b = _net()
+    b.alive = False
+    outcome = network.send(Address("10.0.0.1", 1), Address("10.0.0.2", 2), "x", 10)
+    assert outcome.result() is False
+    assert network.stats.messages_dropped == 1
+
+
+def test_send_without_listener_is_dropped_on_delivery():
+    sim, network, _a, _b = _net()
+    outcome = network.send(Address("10.0.0.1", 1), Address("10.0.0.2", 2), "x", 10)
+    sim.run()
+    assert outcome.result() is False
+    assert network.stats.messages_dropped == 1
+    assert network.stats.messages_delivered == 0
+
+
+def test_host_dying_in_flight_drops_the_message():
+    sim, network, _a, b = _net()
+    dst = Address("10.0.0.2", 2)
+    network.listen(dst, lambda m: None)
+    outcome = network.send(Address("10.0.0.1", 1), dst, "x", 10)
+    sim.schedule(0.005, lambda: setattr(b, "alive", False))
+    sim.run()
+    assert outcome.result() is False
+
+
+def test_loss_model_drops_everything_at_rate_one():
+    sim, network, _a, _b = _net()
+    network.loss.set_pair_rate("10.0.0.1", "10.0.0.2", 1.0)
+    dst = Address("10.0.0.2", 2)
+    network.listen(dst, lambda m: None)
+    outcomes = [network.send(Address("10.0.0.1", 1), dst, i, 10) for i in range(5)]
+    sim.run()
+    assert all(o.result() is False for o in outcomes)
+    assert network.stats.messages_dropped == 5
+
+
+def test_listener_tied_to_dead_context_stops_receiving():
+    sim, network, _a, _b = _net()
+    context = AppContext(sim, name="victim")
+    dst = Address("10.0.0.2", 2)
+    inbox = []
+    network.listen(dst, inbox.append, context=context)
+    context.kill()
+    outcome = network.send(Address("10.0.0.1", 1), dst, "x", 10)
+    sim.run()
+    assert outcome.result() is False
+    assert inbox == []
+    assert not network.is_listening(dst)
+
+
+def test_handler_errors_are_recorded_not_raised_by_default():
+    sim, network, _a, _b = _net()
+    dst = Address("10.0.0.2", 2)
+
+    def broken(_message):
+        raise RuntimeError("boom")
+
+    network.listen(dst, broken)
+    outcome = network.send(Address("10.0.0.1", 1), dst, "x", 10)
+    sim.run()
+    assert outcome.result() is False
+    assert network.stats.handler_errors == 1

@@ -1,0 +1,52 @@
+"""Ring arithmetic: the wrap-around interval logic Chord depends on."""
+
+from repro.lib.ring import between, hash_key, ring_add, ring_distance
+
+
+def test_between_simple_interval():
+    assert between(5, 2, 8)
+    assert not between(2, 2, 8)
+    assert not between(8, 2, 8)
+    assert between(2, 2, 8, include_low=True)
+    assert between(8, 2, 8, include_high=True)
+
+
+def test_between_wrap_around():
+    # Interval (250, 10) on a 256-ring wraps through zero.
+    assert between(255, 250, 10)
+    assert between(0, 250, 10)
+    assert between(5, 250, 10)
+    assert not between(100, 250, 10)
+    assert not between(250, 250, 10)
+    assert between(10, 250, 10, include_high=True)
+
+
+def test_between_whole_ring_when_endpoints_equal():
+    # low == high covers the whole ring minus the endpoint.
+    assert between(1, 7, 7)
+    assert between(200, 7, 7)
+    assert not between(7, 7, 7)
+    assert between(7, 7, 7, include_low=True)
+    assert between(7, 7, 7, include_high=True)
+
+
+def test_between_with_modulus_normalisation():
+    assert between(260, 250, 10, modulus=256) == between(4, 250, 10)
+    # -6 % 256 == 250, which is the (excluded by default) low endpoint.
+    assert not between(-6, 250, 10, modulus=256)
+    assert between(-6, 250, 10, modulus=256, include_low=True)
+
+
+def test_ring_distance_and_add():
+    assert ring_distance(250, 10, 8) == 16
+    assert ring_distance(10, 250, 8) == 240
+    assert ring_distance(7, 7, 8) == 0
+    assert ring_add(250, 10, 8) == 4
+    assert ring_add(0, 255, 8) == 255
+
+
+def test_hash_key_is_deterministic_and_respects_width():
+    assert hash_key("10.0.0.1:20000") == hash_key("10.0.0.1:20000")
+    assert hash_key("a") != hash_key("b")
+    for bits in (8, 16, 32):
+        assert 0 <= hash_key("some-key", bits) < (1 << bits)

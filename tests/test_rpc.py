@@ -1,0 +1,142 @@
+"""RPC: round trips, coroutine handlers, timeouts and retries."""
+
+import pytest
+
+from repro.lib.rpc import RpcError, RpcService, RpcTimeout
+from repro.lib.sbsocket import RestrictedSocket
+from repro.net.address import Address
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.sim.events_api import AppContext, Events
+from repro.sim.futures import FutureState
+from repro.sim.kernel import Simulator
+
+
+class _Host:
+    def __init__(self, ip):
+        self.ip = ip
+        self.alive = True
+
+
+def _endpoint(sim, network, ip, port=1000, **rpc_kwargs):
+    host = _Host(ip)
+    network.add_host(host)
+    context = AppContext(sim, name=f"app@{ip}")
+    events = Events(sim, context)
+    socket = RestrictedSocket(network, context, Address(ip, port))
+    rpc = RpcService(socket, events, **rpc_kwargs)
+    return host, context, events, rpc
+
+
+@pytest.fixture()
+def world():
+    sim = Simulator(7)
+    network = Network(sim, latency=ConstantLatency(0.010), seed=7)
+    return sim, network
+
+
+def test_call_round_trip_with_plain_handler(world):
+    sim, network = world
+    _h1, _c1, _e1, client = _endpoint(sim, network, "10.0.0.1")
+    _h2, _c2, _e2, server = _endpoint(sim, network, "10.0.0.2")
+    server.register("add", lambda a, b: a + b)
+    future = client.call("10.0.0.2:1000", "add", 2, 3)
+    sim.run()
+    assert future.result() == 5
+    assert server.stats.calls_received == 1
+    assert client.stats.replies_received == 1
+
+
+def test_generator_handler_runs_as_coroutine(world):
+    sim, network = world
+    _h1, _c1, _e1, client = _endpoint(sim, network, "10.0.0.1")
+    _h2, _c2, _e2, server = _endpoint(sim, network, "10.0.0.2")
+
+    def slow_echo(value):
+        yield 0.5  # blocks the handler coroutine, not the simulator
+        return value * 2
+
+    server.register("slow_echo", slow_echo)
+    future = client.call("10.0.0.2:1000", "slow_echo", 21, timeout=5.0)
+    sim.run()
+    assert future.result() == 42
+    assert sim.now == pytest.approx(0.52, rel=0.05)
+
+
+def test_remote_exception_becomes_rpc_error(world):
+    sim, network = world
+    _h1, _c1, _e1, client = _endpoint(sim, network, "10.0.0.1")
+    _h2, _c2, _e2, server = _endpoint(sim, network, "10.0.0.2")
+
+    def broken():
+        raise ValueError("nope")
+
+    server.register("broken", broken)
+    future = client.call("10.0.0.2:1000", "broken")
+    sim.run()
+    with pytest.raises(RpcError, match="nope"):
+        future.result()
+
+
+def test_unknown_method_is_an_error(world):
+    sim, network = world
+    _h1, _c1, _e1, client = _endpoint(sim, network, "10.0.0.1")
+    _endpoint(sim, network, "10.0.0.2")
+    future = client.call("10.0.0.2:1000", "missing")
+    sim.run()
+    with pytest.raises(RpcError, match="unknown method"):
+        future.result()
+
+
+def test_timeout_after_all_retries(world):
+    sim, network = world
+    _h1, _c1, _e1, client = _endpoint(sim, network, "10.0.0.1")
+    _h2, _c2, _e2, server = _endpoint(sim, network, "10.0.0.2")
+    server.register("echo", lambda x: x)
+    network.loss.set_pair_rate("10.0.0.1", "10.0.0.2", 1.0)
+    future = client.call("10.0.0.2:1000", "echo", 1, timeout=0.5, retries=2)
+    sim.run()
+    with pytest.raises(RpcTimeout):
+        future.result()
+    # Three attempts (initial + 2 retries), each waiting its own timeout.
+    assert sim.now == pytest.approx(1.5, rel=0.01)
+    assert client.stats.retries == 2
+    assert client.stats.timeouts == 1
+
+
+def test_retry_succeeds_once_loss_clears(world):
+    sim, network = world
+    _h1, _c1, _e1, client = _endpoint(sim, network, "10.0.0.1")
+    _h2, _c2, _e2, server = _endpoint(sim, network, "10.0.0.2")
+    server.register("echo", lambda x: x)
+    network.loss.set_pair_rate("10.0.0.1", "10.0.0.2", 1.0)
+    # The link heals after the first attempt has already been dropped.
+    sim.schedule(0.3, network.loss.set_pair_rate, "10.0.0.1", "10.0.0.2", 0.0)
+    future = client.call("10.0.0.2:1000", "echo", "hi", timeout=0.5, retries=2)
+    sim.run()
+    assert future.result() == "hi"
+    assert client.stats.retries == 1
+
+
+def test_ping_reports_liveness_without_raising(world):
+    sim, network = world
+    _h1, _c1, _e1, client = _endpoint(sim, network, "10.0.0.1")
+    host2, _c2, _e2, _server = _endpoint(sim, network, "10.0.0.2")
+    alive = client.ping("10.0.0.2:1000", timeout=0.5)
+    sim.run()
+    assert alive.result() is True
+    host2.alive = False
+    dead = client.ping("10.0.0.2:1000", timeout=0.5)
+    sim.run()
+    assert dead.result() is False
+
+
+def test_killed_context_cancels_outstanding_calls(world):
+    sim, network = world
+    _h1, context, _e1, client = _endpoint(sim, network, "10.0.0.1")
+    _endpoint(sim, network, "10.0.0.2")
+    future = client.call("10.0.0.2:1000", "anything", timeout=10.0)
+    sim.run(until=0.001)
+    context.kill()
+    assert future.state is FutureState.CANCELLED
+    assert client.pending_calls == 0

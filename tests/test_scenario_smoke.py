@@ -1,0 +1,27 @@
+"""End-to-end smoke: the flagship scenario meets its acceptance bar."""
+
+import pytest
+
+from repro.apps.scenarios import run_chord_scenario
+
+
+@pytest.mark.slow
+def test_chord_scenario_under_churn_meets_the_bar():
+    report = run_chord_scenario(nodes=20, hosts=10, seed=0, churn=True, lookups=60)
+    measured = report["measured"]
+    assert measured["issued"] == 60
+    assert measured["success_rate"] >= 0.99
+    assert measured["latency_p50_ms"] > 0
+    churn = report["churn"]
+    assert churn is not None and churn["actions_applied"] > 0
+    assert report["job"]["churn_leaves"] > 0
+    assert report["log_records_collected"] > 0
+
+
+def test_chord_scenario_without_churn_is_perfect_and_deterministic():
+    first = run_chord_scenario(nodes=10, hosts=5, seed=1, lookups=30,
+                               join_window=20.0, settle=40.0)
+    second = run_chord_scenario(nodes=10, hosts=5, seed=1, lookups=30,
+                                join_window=20.0, settle=40.0)
+    assert first["measured"]["success_rate"] == 1.0
+    assert first == second
