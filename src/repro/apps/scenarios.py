@@ -13,13 +13,17 @@ substreams, so a given command line always produces the same report.
 from __future__ import annotations
 
 import argparse
+import csv
+import hashlib
+import json
 import math
 import sys
+import time
 from dataclasses import dataclass
 from typing import Generator, List, Optional
 
 from repro.apps.chord import LookupFailed, chord_factory
-from repro.core.churn import parse_churn_script
+from repro.core.churn import parse_churn_script, synthetic_churn_script
 from repro.core.jobs import JobSpec
 from repro.lib.ring import ring_distance
 from repro.net.latency import TopologyLatency
@@ -125,17 +129,19 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
                        lookups: int = 200, bits: int = 32,
                        join_window: Optional[float] = None,
                        settle: Optional[float] = None, spacing: float = 0.25,
-                       probe_interval: float = 2.0) -> dict:
+                       probe_interval: float = 2.0, kernel: str = "wheel") -> dict:
     """Run the flagship scenario and return the report dict.
 
     ``join_window`` and ``settle`` default to values scaled with the ring
     size — big rings need proportionally longer to join and re-converge.
+    ``kernel`` selects the event-queue implementation (``"wheel"`` or the
+    baseline ``"heap"``); both produce byte-identical results for one seed.
     """
     if join_window is None:
         join_window = max(60.0, 0.8 * nodes)
     if settle is None:
         settle = max(90.0, 0.6 * nodes)
-    sim = Simulator(seed)
+    sim = Simulator(seed, kernel=kernel)
     host_count = hosts if hosts is not None else max(8, nodes // 2)
     ips = _host_ips(host_count)
 
@@ -201,9 +207,16 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
         sim.run(until=min(hard_cap, sim.now + 60.0))
 
     churn_manager = controller.churn_managers.get(job.job_id)
+    rpc_totals = {"calls_sent": 0, "calls_received": 0, "retries": 0,
+                  "timeouts": 0, "remote_errors": 0, "send_failures": 0}
+    for instance in job.live_instances():
+        stats = instance.rpc.stats
+        for key in rpc_totals:
+            rpc_totals[key] += getattr(stats, key)
     report = {
         "scenario": "chord",
         "seed": seed,
+        "kernel": kernel,
         "nodes": nodes,
         "hosts": host_count,
         "bits": bits,
@@ -220,6 +233,8 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
             "messages_dropped": network.stats.messages_dropped,
             "bytes_sent": network.stats.bytes_sent,
         },
+        #: aggregated over instances alive at the end of the run
+        "rpc": rpc_totals,
         "log_records_collected": len(controller.logs.get(job.job_id, [])),
     }
     if churn_manager is not None:
@@ -243,7 +258,8 @@ def _print_report(report: dict) -> None:
           f"events: {report['events_executed']}")
     print(f"job: state={job['state']} live={job['live_instances']} "
           f"started={job['instances_started']} "
-          f"churn(+{job['churn_joins']}/-{job['churn_leaves']}) "
+          f"churn(+{job['churn_joins']}/-{job['churn_leaves']}"
+          f"/x{job['churn_crashes']}) "
           f"logs={report['log_records_collected']}")
     if report["churn"]:
         churn = report["churn"]
@@ -268,6 +284,223 @@ def _print_report(report: dict) -> None:
           f"{network['messages_delivered']} delivered, "
           f"{network['messages_dropped']} dropped, "
           f"{network['bytes_sent']} bytes")
+
+
+# --------------------------------------------------------------------- bench
+#: CSV columns emitted by ``scenarios bench`` (one row per grid cell+kernel)
+BENCH_CSV_COLUMNS = [
+    "row_type", "kernel", "nodes", "churn_rate", "seed",
+    "wall_sec", "virtual_time", "events_executed", "events_per_sec",
+    "wall_per_virtual_sec",
+    "lookups_issued", "lookups_correct", "success_rate",
+    "latency_p50_ms", "latency_p95_ms", "hops_mean",
+    "rpc_calls_sent", "rpc_retries", "rpc_timeouts",
+    "messages_sent", "messages_dropped", "bytes_sent",
+    "churn_joins", "churn_leaves", "churn_crashes",
+    "report_digest",
+]
+
+
+def _report_digest(report: dict) -> str:
+    """Seed-stable digest of a scenario report (kernel choice excluded)."""
+    data = {k: v for k, v in report.items() if k != "kernel"}
+    encoded = json.dumps(data, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()[:16]
+
+
+def _kernel_timer_churn(kernel: str, nodes: int, duration: float = 60.0,
+                        seed: int = 7) -> dict:
+    """Kernel-isolated benchmark: the scenario's timer workload, no app code.
+
+    Replays the hot event pattern the runtime generates per node — RPC
+    timeout timers that are almost always cancelled shortly after (the reply
+    arrived), immediate process-step events, and short network-latency
+    delays — so the measured events/sec is the queue machinery itself.
+    """
+    sim = Simulator(seed, kernel=kernel)
+    rng = sim.rng
+
+    def noop() -> None:
+        return None
+
+    def rpc_fire(index: int) -> None:
+        timer = sim.schedule(3.0, noop)  # RPC timeout guard
+        if rng.random() < 0.9:
+            # the reply arrives: cancel the timeout shortly after issue
+            sim.schedule(0.05 + rng.random() * 0.15, timer.cancel)
+        sim.schedule(0.0, noop)  # coroutine step
+        sim.schedule(0.0, noop)  # future resumption
+        sim.schedule(0.01 + rng.random() * 0.2, noop)  # message delivery
+        sim.schedule(0.5 + rng.random(), rpc_fire, index)  # next round
+
+    for index in range(nodes):
+        sim.schedule(rng.random(), rpc_fire, index)
+    start = time.perf_counter()
+    sim.run(until=duration)
+    wall = time.perf_counter() - start
+    return {
+        "row_type": "kernel",
+        "kernel": kernel,
+        "nodes": nodes,
+        "churn_rate": "",
+        "seed": seed,
+        "wall_sec": round(wall, 4),
+        "virtual_time": duration,
+        "events_executed": sim.executed_events,
+        "events_per_sec": round(sim.executed_events / wall, 1) if wall > 0 else 0.0,
+        "wall_per_virtual_sec": round(wall / duration, 6),
+    }
+
+
+def _bench_scenario_row(kernel: str, nodes: int, churn_rate: float, seed: int,
+                        report: dict, wall: float) -> dict:
+    measured = report["measured"]
+    network = report["network"]
+    job = report["job"]
+    virtual = report["virtual_time"]
+    return {
+        "row_type": "scenario",
+        "kernel": kernel,
+        "nodes": nodes,
+        "churn_rate": churn_rate,
+        "seed": seed,
+        "wall_sec": round(wall, 4),
+        "virtual_time": round(virtual, 3),
+        "events_executed": report["events_executed"],
+        "events_per_sec": round(report["events_executed"] / wall, 1) if wall > 0 else 0.0,
+        "wall_per_virtual_sec": round(wall / virtual, 6) if virtual else 0.0,
+        "lookups_issued": measured["issued"],
+        "lookups_correct": measured["correct"],
+        "success_rate": round(measured["success_rate"], 6),
+        "latency_p50_ms": round(measured["latency_p50_ms"], 3),
+        "latency_p95_ms": round(measured["latency_p95_ms"], 3),
+        "hops_mean": round(measured["hops_mean"], 4),
+        "rpc_calls_sent": report["rpc"]["calls_sent"],
+        "rpc_retries": report["rpc"]["retries"],
+        "rpc_timeouts": report["rpc"]["timeouts"],
+        "messages_sent": network["messages_sent"],
+        "messages_dropped": network["messages_dropped"],
+        "bytes_sent": network["bytes_sent"],
+        "churn_joins": job["churn_joins"],
+        "churn_leaves": job["churn_leaves"],
+        "churn_crashes": job["churn_crashes"],
+        "report_digest": _report_digest(report),
+    }
+
+
+def run_bench(nodes_list: List[int], churn_rates: List[float],
+              kernels: List[str], seed: int = 0, lookups: int = 100,
+              micro_duration: float = 60.0, quiet: bool = False) -> dict:
+    """Sweep the scenario grid and the kernel microbenchmark; return the summary.
+
+    For every ``(nodes, churn_rate)`` cell the scenario runs once per kernel
+    and the two reports must be byte-identical (``mismatches`` collects any
+    divergence — a correctness failure, not a perf number).
+    """
+    def say(text: str) -> None:
+        if not quiet:
+            print(text, flush=True)
+
+    rows: List[dict] = []
+    mismatches: List[str] = []
+    for nodes in nodes_list:
+        for rate in churn_rates:
+            script = synthetic_churn_script(duration=120.0, period=30.0,
+                                            fraction=rate) if rate > 0 else None
+            digests = {}
+            for kernel in kernels:
+                start = time.perf_counter()
+                report = run_chord_scenario(nodes=nodes, seed=seed,
+                                            churn_script=script,
+                                            lookups=lookups, kernel=kernel)
+                wall = time.perf_counter() - start
+                row = _bench_scenario_row(kernel, nodes, rate, seed, report, wall)
+                rows.append(row)
+                digests[kernel] = row["report_digest"]
+                say(f"scenario nodes={nodes} churn={rate:g} kernel={kernel}: "
+                    f"{row['events_per_sec']:.0f} ev/s, "
+                    f"success={row['success_rate']:.3f}, wall={wall:.2f}s")
+            if len(set(digests.values())) > 1:
+                mismatches.append(
+                    f"nodes={nodes} churn={rate:g}: kernel reports diverge {digests}")
+    for nodes in nodes_list:
+        per_kernel = {}
+        for kernel in kernels:
+            row = _kernel_timer_churn(kernel, nodes, duration=micro_duration)
+            rows.append(row)
+            per_kernel[kernel] = row["events_per_sec"]
+            say(f"kernel-timer-churn nodes={nodes} kernel={kernel}: "
+                f"{row['events_per_sec']:.0f} ev/s")
+        if "wheel" in per_kernel and "heap" in per_kernel and per_kernel["heap"]:
+            say(f"kernel-timer-churn nodes={nodes}: wheel/heap speedup "
+                f"{per_kernel['wheel'] / per_kernel['heap']:.2f}x")
+
+    summary = {
+        "bench": "kernel",
+        "config": {
+            "nodes": nodes_list,
+            "churn_rates": churn_rates,
+            "kernels": kernels,
+            "seed": seed,
+            "lookups": lookups,
+            "micro_duration": micro_duration,
+        },
+        "rows": rows,
+        "speedups": _bench_speedups(rows),
+        "mismatches": mismatches,
+    }
+    return summary
+
+
+def _bench_speedups(rows: List[dict]) -> dict:
+    """wheel-over-heap events/sec ratios, keyed by row type and grid cell."""
+    speedups: dict = {"scenario": {}, "kernel": {}}
+    by_cell: dict = {}
+    for row in rows:
+        cell = (row["row_type"], row["nodes"], row.get("churn_rate", ""))
+        by_cell.setdefault(cell, {})[row["kernel"]] = row["events_per_sec"]
+    for (row_type, nodes, rate), per_kernel in sorted(by_cell.items(), key=str):
+        if "wheel" in per_kernel and per_kernel.get("heap"):
+            key = f"nodes={nodes}" + (f",churn={rate}" if rate != "" else "")
+            speedups[row_type][key] = round(per_kernel["wheel"] / per_kernel["heap"], 3)
+    return speedups
+
+
+def write_bench_csv(path: str, rows: List[dict]) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=BENCH_CSV_COLUMNS, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def check_bench_regression(summary: dict, baseline: dict,
+                           tolerance: float = 0.30) -> List[str]:
+    """Compare events/sec against a committed baseline (same grid cells only).
+
+    Returns a list of human-readable failures for rows whose throughput
+    dropped more than ``tolerance`` below the baseline.
+    """
+    def index(rows: List[dict]) -> dict:
+        # The workload signature (lookups, virtual duration) is part of the
+        # key: rows are only comparable when they ran the same experiment.
+        return {(r["row_type"], r["kernel"], r["nodes"], r.get("churn_rate", ""),
+                 r.get("lookups_issued", ""), r.get("virtual_time", "")): r
+                for r in rows}
+
+    current = index(summary.get("rows", []))
+    failures: List[str] = []
+    for key, base_row in index(baseline.get("rows", [])).items():
+        row = current.get(key)
+        if row is None:
+            continue  # baseline covers a larger grid than this run
+        base = base_row.get("events_per_sec") or 0.0
+        seen = row.get("events_per_sec") or 0.0
+        if base > 0 and seen < base * (1.0 - tolerance):
+            failures.append(
+                f"{key}: {seen:.0f} ev/s is {100 * (1 - seen / base):.0f}% below "
+                f"baseline {base:.0f} ev/s (tolerance {100 * tolerance:.0f}%)")
+    return failures
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -296,8 +529,70 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "(default: scales with --nodes)")
     chord.add_argument("--min-success", type=float, default=0.99,
                        help="exit non-zero below this measured success rate")
+    chord.add_argument("--kernel", choices=("wheel", "heap"), default="wheel",
+                       help="event-queue implementation (results are identical)")
+
+    bench = sub.add_parser(
+        "bench", help="sweep nodes x churn-rate grids over both kernels and "
+                      "emit CSV + JSON perf numbers")
+    bench.add_argument("--nodes", type=int, nargs="+", default=[50, 100, 200],
+                       help="ring sizes to sweep")
+    bench.add_argument("--churn-rates", type=float, nargs="+", default=[0.0, 0.05],
+                       help="fraction of live nodes replaced every 30s "
+                            "(0 disables churn)")
+    bench.add_argument("--kernels", choices=("wheel", "heap"), nargs="+",
+                       default=["wheel", "heap"], help="kernels to compare")
+    bench.add_argument("--seed", type=int, default=0, help="root determinism seed")
+    bench.add_argument("--lookups", type=int, default=100,
+                       help="measured lookups per scenario run")
+    bench.add_argument("--micro-duration", type=float, default=60.0,
+                       help="virtual seconds of the kernel timer-churn microbench")
+    bench.add_argument("--csv", type=str, default="bench_kernel.csv",
+                       help="CSV output path")
+    bench.add_argument("--json", type=str, default="BENCH_kernel.json",
+                       help="JSON summary output path")
+    bench.add_argument("--check", type=str, default=None, metavar="BASELINE",
+                       help="compare events/sec against a committed baseline "
+                            "JSON and exit non-zero on regression")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed fractional events/sec drop for --check")
+    bench.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
     args = parser.parse_args(argv)
+    if args.scenario == "bench":
+        summary = run_bench(nodes_list=args.nodes, churn_rates=args.churn_rates,
+                            kernels=list(dict.fromkeys(args.kernels)), seed=args.seed,
+                            lookups=args.lookups, micro_duration=args.micro_duration,
+                            quiet=args.quiet)
+        write_bench_csv(args.csv, summary["rows"])
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"bench: wrote {len(summary['rows'])} rows to {args.csv} "
+              f"and summary to {args.json}")
+        for row_type, ratios in summary["speedups"].items():
+            for cell, ratio in ratios.items():
+                print(f"speedup[{row_type}] {cell}: {ratio:.2f}x")
+        status = 0
+        if summary["mismatches"]:
+            for line in summary["mismatches"]:
+                print(f"DETERMINISM FAIL: {line}", file=sys.stderr)
+            status = 3
+        if args.check:
+            try:
+                with open(args.check, "r", encoding="utf-8") as handle:
+                    baseline = json.load(handle)
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read baseline {args.check}: {exc}",
+                      file=sys.stderr)
+                return 2
+            failures = check_bench_regression(summary, baseline,
+                                              tolerance=args.tolerance)
+            for line in failures:
+                print(f"PERF REGRESSION: {line}", file=sys.stderr)
+            if failures:
+                status = status or 4
+        return status
     if args.scenario == "chord":
         script = None
         if args.churn_script:
@@ -316,7 +611,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = run_chord_scenario(
             nodes=args.nodes, hosts=args.hosts, seed=args.seed,
             churn=args.churn, churn_script=script, lookups=args.lookups,
-            bits=args.bits, join_window=args.join_window, settle=args.settle)
+            bits=args.bits, join_window=args.join_window, settle=args.settle,
+            kernel=args.kernel)
         _print_report(report)
         ok = report["measured"]["success_rate"] >= args.min_success
         if not ok:

@@ -194,7 +194,12 @@ class ChurnManager:
                     self.stats.instances_crashed += 1
                 else:
                     self.stats.instances_left += 1
-            self.job.stats.churn_leaves += len(victims)
+            # Crashes and graceful leaves are distinct populations in every
+            # churn study; conflating them would corrupt bench reports.
+            if action.kind == "crash":
+                self.job.stats.churn_crashes += len(victims)
+            else:
+                self.job.stats.churn_leaves += len(victims)
             if action.kind == "replace":
                 self._join(len(victims))
         elif action.kind == "join":

@@ -82,7 +82,11 @@ class JobStats:
     instances_stopped: int = 0
     instances_failed: int = 0
     churn_joins: int = 0
+    #: graceful departures only ("leave" and the kill half of "replace")
     churn_leaves: int = 0
+    #: abrupt "crash" victims — kept separate so benchmarks report churn
+    #: composition accurately
+    churn_crashes: int = 0
     log_records: int = 0
 
 

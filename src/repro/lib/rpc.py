@@ -25,8 +25,8 @@ socket policies apply uniformly to RPC traffic.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
+from types import GeneratorType
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.lib.sbsocket import RestrictedSocket, SocketRestrictionError
@@ -62,8 +62,6 @@ class RpcStats:
 #: payload keys — kept short since they travel in every RPC message
 _CALL, _REPLY = "call", "reply"
 
-_global_call_ids = itertools.count(1)
-
 
 class RpcService:
     """Bidirectional RPC endpoint bound to one restricted socket.
@@ -92,6 +90,10 @@ class RpcService:
         self._handlers: Dict[str, Callable[..., Any]] = {"__ping__": lambda: True}
         #: call_id -> (future, timeout timer)
         self._pending: Dict[int, Tuple[Future, Optional[ScheduledEvent]]] = {}
+        # Call ids are per-service: uniqueness is only needed to match replies
+        # in our own _pending table, and a process-wide counter would leak
+        # nondeterministic payload sizes across co-hosted seeded simulations.
+        self._call_ids = 0
         socket.listen(self._on_message)
         events.context.add_cleanup(self._cancel_pending)
 
@@ -185,8 +187,8 @@ class RpcService:
         """Asynchronous variant of :meth:`call` (observe the future, or ignore it)."""
         timeout = timeout if timeout is not None else self.default_timeout
         attempts_left = (retries if retries is not None else self.default_retries) + 1
-        call_id = next(_global_call_ids)
-        result = Future(name=f"rpc:{method}#{call_id}")
+        self._call_ids = call_id = self._call_ids + 1
+        result = Future()
         payload = {"rpc": _CALL, "id": call_id, "method": method, "args": list(args)}
         state = {"attempts_left": attempts_left, "first": True}
 
@@ -270,6 +272,4 @@ def a_call(service: RpcService, dst: Any, method: str, *args: Any, **kwargs: Any
 
 
 def _is_generator(value: Any) -> bool:
-    from types import GeneratorType
-
     return isinstance(value, GeneratorType)

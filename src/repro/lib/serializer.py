@@ -89,9 +89,60 @@ def decode(frame: bytes) -> Any:
     return loads(body.decode("utf-8"))
 
 
+def _approx_size(value: Any) -> int:
+    """Approximate the JSON-encoded length of ``value`` without encoding it.
+
+    Called once per simulated message (the network models charge transmission
+    time by size), so this avoids the full ``json.dumps`` walk that used to
+    dominate the send path.  The estimate tracks the compact-separator JSON
+    length closely (string escaping and non-ASCII expansion are ignored);
+    determinism is what matters — the same value always yields the same size.
+    """
+    kind = type(value)
+    if kind is str:
+        return len(value) + 2
+    if kind is int:
+        return len(str(value))
+    if kind is bool or value is None:
+        return 4 + (value is False)
+    if kind is float:
+        return len(repr(value))
+    if kind is dict:
+        if not value:
+            return 2
+        total = 1 + len(value)  # braces + (len-1) commas + closing bracket
+        for key, item in value.items():
+            # JSON stringifies scalar non-str keys ({1: ...} -> {"1": ...})
+            if type(key) is not str:
+                if key is None or isinstance(key, (int, float, bool)):
+                    key = str(key)
+                else:
+                    raise SerializationError(
+                        f"cannot serialise dict key {type(key).__name__}: {key!r}")
+            total += len(key) + 3 + _approx_size(item)  # quotes + colon
+        return total
+    if kind is list or kind is tuple:
+        if not value:
+            return 2
+        total = 1 + len(value)
+        for item in value:
+            total += _approx_size(item)
+        return total
+    if kind is NodeRef:
+        # {"__noderef__":{"ip":...,"port":...,"id":...}}
+        return 16 + _approx_size(value.to_dict())
+    if kind is Address:
+        return 16 + _approx_size(value.to_dict())
+    if isinstance(value, (set, frozenset)):
+        return 12 + _approx_size(sorted(value, key=repr))
+    # Unknown types go through the real encoder (raises SerializationError
+    # for values that could never be sent anyway).
+    return len(dumps(value).encode("utf-8"))
+
+
 def estimate_size(value: Any) -> int:
     """Wire size (bytes) of ``value`` once serialised, including framing overhead."""
-    return len(dumps(value).encode("utf-8")) + FRAMING_OVERHEAD
+    return _approx_size(value) + FRAMING_OVERHEAD
 
 
 class LLEncStream:

@@ -10,7 +10,6 @@ the paper's experiment sizes (tens to a few hundred concurrent flows).
 
 from __future__ import annotations
 
-import itertools
 import math
 from typing import Dict, List, Optional, Tuple
 
@@ -20,8 +19,6 @@ from repro.sim.kernel import ScheduledEvent, Simulator
 #: capacity used for hosts without an explicit limit (effectively unlimited)
 UNLIMITED_BPS = 1e15
 
-_transfer_ids = itertools.count(1)
-
 
 class Transfer:
     """One in-flight bulk transfer."""
@@ -29,8 +26,9 @@ class Transfer:
     __slots__ = ("transfer_id", "src_ip", "dst_ip", "total_bytes", "remaining_bytes",
                  "rate_bps", "started_at", "done", "cancelled")
 
-    def __init__(self, src_ip: str, dst_ip: str, nbytes: float, started_at: float):
-        self.transfer_id = next(_transfer_ids)
+    def __init__(self, src_ip: str, dst_ip: str, nbytes: float, started_at: float,
+                 transfer_id: int = 0):
+        self.transfer_id = transfer_id
         self.src_ip = src_ip
         self.dst_ip = dst_ip
         self.total_bytes = float(nbytes)
@@ -67,6 +65,9 @@ class BandwidthModel:
         self._active: List[Transfer] = []
         self._last_update = 0.0
         self._completion_event: Optional[ScheduledEvent] = None
+        # Per-model ids keep co-hosted seeded simulations reproducible (a
+        # process-wide counter would interleave them).
+        self._transfer_ids = 0
         #: completed transfer count (for stats/tests)
         self.completed = 0
 
@@ -85,7 +86,9 @@ class BandwidthModel:
         """Start a bulk transfer of ``nbytes`` bytes; returns its :class:`Transfer`."""
         if nbytes < 0:
             raise ValueError("transfer size must be non-negative")
-        transfer = Transfer(src_ip, dst_ip, nbytes, self.sim.now)
+        self._transfer_ids += 1
+        transfer = Transfer(src_ip, dst_ip, nbytes, self.sim.now,
+                            transfer_id=self._transfer_ids)
         if nbytes == 0:
             transfer.done.set_result(self.sim.now)
             self.completed += 1
@@ -154,10 +157,18 @@ class BandwidthModel:
         for transfer, rate in zip(self._active, rates):
             transfer.rate_bps = rate
 
-        next_finish = min(
-            (t.remaining_bytes * 8.0 / t.rate_bps) for t in self._active if t.rate_bps > 0
-        )
-        next_finish = max(next_finish, 0.0)
+        # Progressive filling can legitimately leave a flow at rate 0 (e.g. a
+        # shared uplink exhausted by a downlink-bottlenecked flow, or float
+        # dust zeroing a link's remaining capacity).  Zero-rate flows make no
+        # progress, so they must not drive the completion tick — and if every
+        # flow is stalled there is nothing to schedule: the next call to
+        # _reallocate (a transfer starting, completing or being cancelled
+        # frees capacity) re-ticks them.
+        finish_times = [t.remaining_bytes * 8.0 / t.rate_bps
+                        for t in self._active if t.rate_bps > 0]
+        if not finish_times:
+            return
+        next_finish = max(min(finish_times), 0.0)
         self._completion_event = self.sim.schedule(next_finish, self._on_completion_tick)
 
     def _on_completion_tick(self) -> None:

@@ -89,14 +89,33 @@ class Network:
         self.stats = NetworkStats()
         self._listeners: Dict[Address, Listener] = {}
         self._rng = substream(seed if seed is not None else sim.seed, "network-jitter")
+        # processing-delay hooks resolved once per host at registration time —
+        # a hasattr() probe per message was measurable on the send hot path
+        self._proc_delay: Dict[str, Any] = {}
 
     # ----------------------------------------------------------------- hosts
     def add_host(self, host: Any) -> None:
-        """Register a host object (must expose ``ip`` and ``alive``)."""
+        """Register a host object (must expose ``ip`` and ``alive``).
+
+        A ``processing_delay(size) -> seconds`` hook is picked up here; to
+        attach one *after* registration, use :meth:`set_processing_delay`
+        (the hook is resolved once, not probed per message).
+        """
         self.hosts[host.ip] = host
+        hook = getattr(host, "processing_delay", None)
+        if hook is not None:
+            self._proc_delay[host.ip] = hook
+
+    def set_processing_delay(self, ip: str, hook: Any) -> None:
+        """Attach (or clear, with ``None``) a host-load delay hook for ``ip``."""
+        if hook is None:
+            self._proc_delay.pop(ip, None)
+        else:
+            self._proc_delay[ip] = hook
 
     def remove_host(self, ip: str) -> None:
         self.hosts.pop(ip, None)
+        self._proc_delay.pop(ip, None)
         self.bandwidth.cancel_host(ip)
         for address in [a for a in self._listeners if a.ip == ip]:
             del self._listeners[address]
@@ -147,7 +166,7 @@ class Network:
         (the future is a convenience for tests and for the RPC layer's
         timeout bookkeeping); this mirrors datagram semantics.
         """
-        outcome = Future(name=f"send:{src}->{dst}")
+        outcome = Future()  # naming 250k+ futures per run was measurable
         self.stats.messages_sent += 1
         self.stats.bytes_sent += size
 
@@ -176,13 +195,14 @@ class Network:
         narrow = min(up, down)
         if narrow < UNLIMITED_BPS and size > 0:
             delay += size * 8.0 / narrow
-        # Receiver-side processing delay (host load, swap penalty, ...).
-        dst_host = self.hosts.get(dst.ip)
-        if dst_host is not None and hasattr(dst_host, "processing_delay"):
-            delay += max(0.0, dst_host.processing_delay(size))
-        src_host = self.hosts.get(src.ip)
-        if src_host is not None and hasattr(src_host, "processing_delay"):
-            delay += max(0.0, src_host.processing_delay(size))
+        # Receiver/sender-side processing delay (host load, swap penalty, ...).
+        if self._proc_delay:
+            dst_hook = self._proc_delay.get(dst.ip)
+            if dst_hook is not None:
+                delay += max(0.0, dst_hook(size))
+            src_hook = self._proc_delay.get(src.ip)
+            if src_hook is not None:
+                delay += max(0.0, src_hook(size))
         return delay
 
     def _deliver(self, message: Message, outcome: Future) -> None:

@@ -184,6 +184,7 @@ class Controller:
             "instances_failed": job.stats.instances_failed,
             "churn_joins": job.stats.churn_joins,
             "churn_leaves": job.stats.churn_leaves,
+            "churn_crashes": job.stats.churn_crashes,
             "log_records": job.stats.log_records,
             "bytes_sent": sum(s.bytes_sent for s in sockets),
             "messages_sent": sum(s.messages_sent for s in sockets),

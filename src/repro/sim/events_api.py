@@ -32,6 +32,13 @@ class AppContext:
         self._processes: List[Process] = []
         self._timers: List[ScheduledEvent] = []
         self._cleanups: List[Callable[[], None]] = []
+        # Compaction water marks: periodic tasks re-arm a fresh timer every
+        # firing, so without pruning these lists grow without bound over a
+        # long run (and kill() would walk millions of dead entries).  The
+        # threshold doubles with the surviving population so a context with
+        # genuinely many live timers does not re-scan on every append.
+        self._timer_high_water = 64
+        self._process_high_water = 64
 
     # --------------------------------------------------------------- tracking
     def track_process(self, process: Process) -> Process:
@@ -39,6 +46,9 @@ class AppContext:
             process.kill("context dead")
             return process
         self._processes.append(process)
+        if len(self._processes) >= self._process_high_water:
+            self._processes = [p for p in self._processes if not p.done.done()]
+            self._process_high_water = max(64, 2 * len(self._processes))
         return process
 
     def track_timer(self, event: ScheduledEvent) -> ScheduledEvent:
@@ -46,6 +56,9 @@ class AppContext:
             event.cancel()
             return event
         self._timers.append(event)
+        if len(self._timers) >= self._timer_high_water:
+            self._timers = [t for t in self._timers if t.pending]
+            self._timer_high_water = max(64, 2 * len(self._timers))
         return event
 
     def add_cleanup(self, callback: Callable[[], None]) -> None:

@@ -1,16 +1,45 @@
-"""Event heap and virtual clock.
+"""Event kernel: virtual clock, timer wheel and overflow heap.
 
 The :class:`Simulator` is the single authority on virtual time.  Every other
 component (network, daemons, controller, applications) schedules callbacks on
 it.  Determinism is guaranteed by a monotonically increasing sequence number
 used to break ties between events scheduled for the same instant, and by the
 simulator-owned random number generator.
+
+Two interchangeable kernels implement the event queue:
+
+``kernel="wheel"`` (default)
+    A timer wheel tuned for the dominant short-delay periodic events (RPC
+    timeouts, stabilization rounds, churn ticks).  Four structures cooperate,
+    all ordered by the exact ``(time, seq)`` key so the execution order is
+    byte-identical to the heap kernel:
+
+    * a *ready* deque — events scheduled for the current instant
+      (``delay == 0``, the process-step hot path).  Appends are naturally
+      sorted because both the clock and the sequence counter are monotonic,
+      so no heap operation is ever needed for them;
+    * a *cursor* heap — events belonging to wheel buckets the clock has
+      already reached;
+    * the *wheel* — one unsorted bucket per tick for events within the
+      horizon (``wheel_tick * wheel_slots`` seconds).  Insertion is an O(1)
+      list append; cancelled events are purged in bulk when their bucket is
+      loaded into the cursor;
+    * an *overflow* heap for far-future events (beyond the horizon), with
+      lazy compaction once cancelled entries dominate.
+
+``kernel="heap"``
+    The original binary-heap kernel, kept as a faithful baseline for
+    ``scenarios bench`` comparisons.
+
+Both kernels maintain an O(1) pending-event counter (the heap kernel used to
+scan the whole queue on every :attr:`Simulator.pending_events` read).
 """
 
 from __future__ import annotations
 
-import heapq
 import random
+from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 
@@ -23,19 +52,28 @@ class ScheduledEvent:
     already fired is a no-op.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired",
+                 "_sim", "_epoch", "_overflow")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None, epoch: int = 0):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
+        self._epoch = epoch
+        self._overflow = False
 
     def cancel(self) -> None:
         """Prevent the callback from running (no-op if it already ran)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled(self)
 
     @property
     def pending(self) -> bool:
@@ -60,10 +98,26 @@ class Simulator:
         models (latency jitter, loss, host load, workloads) must draw either
         from :attr:`rng` or from a substream derived via
         :func:`repro.sim.rng.substream` so that runs are reproducible.
+    kernel:
+        ``"wheel"`` (timer wheel + overflow heap, default) or ``"heap"``
+        (the original binary-heap kernel).  Both execute events in exactly
+        the same ``(time, seq)`` order, so results are byte-identical; the
+        wheel is simply faster on timer-churn-heavy workloads.
+    wheel_tick / wheel_slots:
+        Bucket granularity and count of the timer wheel.  The horizon
+        (``wheel_tick * wheel_slots``) should cover the common delays (RPC
+        timeouts, stabilization periods); longer delays fall back to the
+        overflow heap.
     """
 
-    def __init__(self, seed: int = 0):
-        self._heap: list[ScheduledEvent] = []
+    def __init__(self, seed: int = 0, kernel: str = "wheel",
+                 wheel_tick: float = 0.05, wheel_slots: int = 4096):
+        if kernel not in ("wheel", "heap"):
+            raise ValueError(f"unknown kernel: {kernel!r} (expected 'wheel' or 'heap')")
+        if wheel_tick <= 0 or wheel_slots < 2:
+            raise ValueError("wheel_tick must be positive and wheel_slots >= 2")
+        self.kernel = kernel
+        self._use_wheel = kernel == "wheel"
         self._now: float = 0.0
         self._seq: int = 0
         self._stop_requested = False
@@ -72,6 +126,25 @@ class Simulator:
         self.rng = random.Random(seed)
         #: number of callbacks executed so far (useful for tests and stats)
         self.executed_events = 0
+        # O(1) pending-event accounting (events scheduled minus fired/cancelled)
+        self._pending = 0
+        self._epoch = 0
+        self._next_pid = 0
+        # --- heap kernel state
+        self._heap: list[ScheduledEvent] = []
+        # --- wheel kernel state
+        self._tick = float(wheel_tick)
+        self._inv_tick = 1.0 / float(wheel_tick)
+        # rounded up to a power of two so slot indexing is a mask, not a modulo
+        self._slots = 1 << (int(wheel_slots) - 1).bit_length()
+        self._slot_mask = self._slots - 1
+        self._ready: deque = deque()
+        self._cursor: list = []
+        self._wheel: list[list] = [[] for _ in range(self._slots)] if kernel == "wheel" else []
+        self._wheel_count = 0
+        self._cur_tick = 0
+        self._overflow: list = []
+        self._overflow_ghosts = 0
 
     # ------------------------------------------------------------------ time
     @property
@@ -79,25 +152,149 @@ class Simulator:
         """Current virtual time, in seconds."""
         return self._now
 
+    def allocate_pid(self) -> int:
+        """Next process id (per-simulator, so co-hosted runs stay deterministic)."""
+        self._next_pid += 1
+        return self._next_pid
+
     # -------------------------------------------------------------- schedule
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        return self._insert(self._now + delay, callback, args)
 
     def schedule_at(self, when: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule ``callback(*args)`` to run at absolute virtual time ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
-        self._seq += 1
-        event = ScheduledEvent(when, self._seq, callback, args)
-        heapq.heappush(self._heap, event)
+        return self._insert(when, callback, args)
+
+    def _insert(self, when: float, callback: Callable[..., Any], args: tuple) -> ScheduledEvent:
+        self._seq = seq = self._seq + 1
+        event = ScheduledEvent(when, seq, callback, args, self, self._epoch)
+        self._pending += 1
+        if not self._use_wheel:
+            heappush(self._heap, event)
+            return event
+        if when == self._now:
+            # Hot path: process steps / future resumptions scheduled "now".
+            # The deque stays sorted because time and seq are both monotonic.
+            self._ready.append((when, seq, event))
+            return event
+        # Inline _bucket_of: one multiply plus boundary corrections.
+        tick = self._tick
+        bucket = int(when * self._inv_tick)
+        while bucket * tick > when:
+            bucket -= 1
+        while (bucket + 1) * tick <= when:
+            bucket += 1
+        cur = self._cur_tick
+        if bucket <= cur:
+            heappush(self._cursor, (when, seq, event))
+        elif bucket - cur < self._slots:
+            self._wheel[bucket & self._slot_mask].append((when, seq, event))
+            self._wheel_count += 1
+        else:
+            event._overflow = True
+            heappush(self._overflow, (when, seq, event))
         return event
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule ``callback(*args)`` at the current instant (after pending same-time events)."""
-        return self.schedule(0.0, callback, *args)
+        return self._insert(self._now, callback, args)
+
+    # -------------------------------------------------------- wheel internals
+    def _bucket_of(self, when: float) -> int:
+        """Tick index ``b`` with ``b*tick <= when < (b+1)*tick`` under exact
+        float comparison (the correction loops absorb multiplication
+        rounding, keeping bucket boundaries consistent everywhere)."""
+        tick = self._tick
+        idx = int(when * self._inv_tick)
+        while idx * tick > when:
+            idx -= 1
+        while (idx + 1) * tick <= when:
+            idx += 1
+        return idx
+
+    def _note_cancelled(self, event: ScheduledEvent) -> None:
+        if event._epoch != self._epoch:
+            return  # scheduled before a clear(); no longer accounted
+        self._pending -= 1
+        if event._overflow:
+            self._overflow_ghosts += 1
+            # Lazy purge: rebuild the overflow heap once ghosts dominate.
+            if self._overflow_ghosts > 64 and self._overflow_ghosts * 2 >= len(self._overflow):
+                self._overflow = [e for e in self._overflow if not e[2].cancelled]
+                heapify(self._overflow)
+                self._overflow_ghosts = 0
+
+    def _advance_wheel(self) -> bool:
+        """Move the wheel forward to the next tick holding events.
+
+        Loads that bucket (minus cancelled ghosts) into the cursor and
+        migrates overflow-heap entries that now fall inside it.  Returns
+        ``False`` when no events remain anywhere.
+        """
+        overflow = self._overflow
+        while overflow and overflow[0][2].cancelled:
+            heappop(overflow)
+            self._overflow_ghosts -= 1
+        target = -1
+        if self._wheel_count:
+            wheel = self._wheel
+            mask = self._slot_mask
+            t = self._cur_tick + 1
+            end = t + self._slots
+            while t < end and not wheel[t & mask]:
+                t += 1
+            target = t
+        if overflow:
+            over_bucket = self._bucket_of(overflow[0][0])
+            if target < 0 or over_bucket < target:
+                target = over_bucket
+        if target < 0:
+            return False
+        self._cur_tick = target
+        slot = target & self._slot_mask
+        bucket = self._wheel[slot]
+        cursor = self._cursor
+        if bucket:
+            self._wheel[slot] = []
+            self._wheel_count -= len(bucket)
+            live = [entry for entry in bucket if not entry[2].cancelled]
+            if live:
+                cursor.extend(live)
+                heapify(cursor)
+        if overflow:
+            boundary = (target + 1) * self._tick
+            while overflow and overflow[0][0] < boundary:
+                entry = heappop(overflow)
+                event = entry[2]
+                event._overflow = False
+                if event.cancelled:
+                    self._overflow_ghosts -= 1
+                else:
+                    heappush(cursor, entry)
+        return True
+
+    def _pop_next_wheel(self) -> Optional[ScheduledEvent]:
+        """Remove and return the next pending event in (time, seq) order."""
+        ready = self._ready
+        cursor = self._cursor
+        while True:
+            while ready and ready[0][2].cancelled:
+                ready.popleft()
+            while cursor and cursor[0][2].cancelled:
+                heappop(cursor)
+            if ready:
+                if cursor and cursor[0] < ready[0]:
+                    return heappop(cursor)[2]
+                return ready.popleft()[2]
+            if cursor:
+                return heappop(cursor)[2]
+            if not self._advance_wheel():
+                return None
 
     # ------------------------------------------------------------------- run
     def step(self) -> bool:
@@ -106,39 +303,95 @@ class Simulator:
         Returns ``True`` if an event was executed, ``False`` if the event
         queue was empty (cancelled events are skipped transparently).
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.fired = True
-            self.executed_events += 1
-            event.callback(*event.args)
-            return True
-        return False
+        if not self._use_wheel:
+            heap = self._heap
+            while heap:
+                event = heappop(heap)
+                if event.cancelled:
+                    continue
+                self._execute(event)
+                return True
+            return False
+        event = self._pop_next_wheel()
+        if event is None:
+            return False
+        self._execute(event)
+        return True
+
+    def _execute(self, event: ScheduledEvent) -> None:
+        self._now = event.time
+        event.fired = True
+        self._pending -= 1
+        self.executed_events += 1
+        event.callback(*event.args)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the event queue drains or virtual time reaches ``until``.
 
-        Returns the virtual time at which the run stopped.
+        Returns the virtual time at which the run stopped.  The clock jumps
+        forward to ``until`` only when the queue genuinely drained — not when
+        :meth:`stop` interrupted the run with events still pending before
+        ``until`` (they must remain schedulable at their original times).
         """
         self._stop_requested = False
         self._running = True
         try:
-            while self._heap and not self._stop_requested:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and head.time > until:
-                    self._now = until
-                    break
-                self.step()
-            else:
-                if until is not None and self._now < until:
-                    self._now = until
+            if not self._use_wheel:
+                return self._run_heap(until)
+            return self._run_wheel(until)
         finally:
             self._running = False
+
+    def _run_heap(self, until: Optional[float]) -> float:
+        heap = self._heap
+        while heap and not self._stop_requested:
+            head = heap[0]
+            if head.cancelled:
+                heappop(heap)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                return self._now
+            heappop(heap)
+            self._execute(head)
+        if not heap and not self._stop_requested:
+            if until is not None and self._now < until:
+                self._now = until
+        return self._now
+
+    def _run_wheel(self, until: Optional[float]) -> float:
+        ready = self._ready
+        cursor = self._cursor
+        while not self._stop_requested:
+            while ready and ready[0][2].cancelled:
+                ready.popleft()
+            while cursor and cursor[0][2].cancelled:
+                heappop(cursor)
+            if ready:
+                from_cursor = bool(cursor) and cursor[0] < ready[0]
+                entry = cursor[0] if from_cursor else ready[0]
+            elif cursor:
+                from_cursor = True
+                entry = cursor[0]
+            else:
+                if self._advance_wheel():
+                    continue
+                if until is not None and self._now < until:
+                    self._now = until
+                break
+            if until is not None and entry[0] > until:
+                self._now = until
+                break
+            if from_cursor:
+                heappop(cursor)
+            else:
+                ready.popleft()
+            event = entry[2]
+            self._now = entry[0]
+            event.fired = True
+            self._pending -= 1
+            self.executed_events += 1
+            event.callback(*event.args)
         return self._now
 
     def run_for(self, duration: float) -> float:
@@ -152,8 +405,8 @@ class Simulator:
     # --------------------------------------------------------------- queries
     @property
     def pending_events(self) -> int:
-        """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of scheduled, not-yet-cancelled events (O(1))."""
+        return self._pending
 
     @property
     def running(self) -> bool:
@@ -162,7 +415,19 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events (the clock is left unchanged)."""
+        self._epoch += 1
+        self._pending = 0
         self._heap.clear()
+        self._ready.clear()
+        self._cursor.clear()
+        if self._use_wheel:
+            if self._wheel_count:
+                self._wheel = [[] for _ in range(self._slots)]
+            self._wheel_count = 0
+            self._cur_tick = self._bucket_of(self._now)
+        self._overflow.clear()
+        self._overflow_ghosts = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self._now:.6f} pending={self.pending_events}>"
+        return (f"<Simulator kernel={self.kernel} now={self._now:.6f} "
+                f"pending={self.pending_events}>")

@@ -46,11 +46,11 @@ class Process:
         Optional label used in diagnostics.
     """
 
-    _ids = 0
-
     def __init__(self, sim: Simulator, generator: Any, name: str = ""):
-        Process._ids += 1
-        self.pid = Process._ids
+        # pids come from the simulator so that two seeded simulations running
+        # in the same Python process allocate identical, reproducible ids
+        # (a process-wide class counter would interleave them).
+        self.pid = sim.allocate_pid()
         self.sim = sim
         self.name = name or f"process-{self.pid}"
         self._generator: Optional[Generator] = generator if isinstance(generator, GeneratorType) else None
@@ -61,7 +61,7 @@ class Process:
             else:
                 raise TypeError(f"Process target must be a generator or callable, got {type(generator)!r}")
         #: completes when the coroutine returns, raises, or is killed
-        self.done = Future(name=f"{self.name}.done")
+        self.done = Future()
         self._started = False
         self._killed = False
         self._pending_event: Optional[ScheduledEvent] = None

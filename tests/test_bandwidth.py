@@ -61,6 +61,69 @@ def test_cancel_host_aborts_its_transfers():
     assert other.done.done() and not other.done.cancelled()
 
 
+def test_two_flow_shared_uplink_with_zero_rate_assignment_does_not_crash():
+    """Regression: _reallocate computed min() over positive-rate flows only;
+    a zero-rate assignment (shared uplink exhausted by a bottlenecked flow or
+    float dust) made the generator empty and min() raise ValueError — and the
+    stalled flow never completed.  The guard must survive the degenerate
+    state and re-tick the stalled flow once capacity frees."""
+    sim = Simulator()
+    bw = BandwidthModel(sim)
+    forced = {"zero": True}
+    original = BandwidthModel._max_min_fair_rates
+
+    def patched(self, transfers):
+        rates = original(self, transfers)
+        if forced["zero"] and len(rates) > 1:
+            rates[-1] = 0.0  # the shared uplink left nothing for the last flow
+        return rates
+
+    bw._max_min_fair_rates = patched.__get__(bw, BandwidthModel)
+    bw.set_capacity("A", 8_000_000, None)
+    healthy = bw.transfer("A", "B", 1_000_000)
+    stalled = bw.transfer("A", "C", 1_000_000)
+    assert stalled.rate_bps == 0.0
+    assert healthy.rate_bps > 0.0
+    sim.run(until=9.0)
+    # The healthy flow completes; its completion frees the uplink and the
+    # next reallocation (no longer forced to zero) revives the stalled flow.
+    assert healthy.done.done()
+    forced["zero"] = False
+    bw._reallocate()
+    assert stalled.rate_bps > 0.0
+    sim.run()
+    assert stalled.done.done()
+    assert bw.completed == 2
+
+
+def test_all_flows_zero_rate_schedules_no_tick_and_recovers():
+    sim = Simulator()
+    bw = BandwidthModel(sim)
+    bw._max_min_fair_rates = (lambda transfers: [0.0] * len(transfers))
+    bw.set_capacity("A", 8_000_000, None)
+    stalled = bw.transfer("A", "B", 1_000_000)  # must not raise ValueError
+    assert stalled.rate_bps == 0.0
+    assert sim.pending_events == 0  # no completion tick for a fully stalled set
+    del bw._max_min_fair_rates  # capacity "frees": restore the real allocator
+    bw._reallocate()
+    sim.run()
+    assert stalled.done.result() == pytest.approx(1.0)
+
+
+def test_shared_uplink_two_flows_complete_with_fair_timing():
+    sim = Simulator()
+    bw = BandwidthModel(sim)
+    bw.set_capacity("S", 8_000_000, None)     # 1 MB/s shared uplink
+    bw.set_capacity("D1", None, 2_000_000)    # D1 downlink bottleneck
+    narrow = bw.transfer("S", "D1", 1_000_000)
+    wide = bw.transfer("S", "D2", 1_500_000)
+    assert narrow.rate_bps == pytest.approx(2_000_000)
+    assert wide.rate_bps == pytest.approx(6_000_000)
+    sim.run()
+    assert narrow.done.done() and wide.done.done()
+    assert bw.completed == 2
+
+
 def test_transfer_progress_and_duration_accounting():
     sim = Simulator()
     bw = BandwidthModel(sim)

@@ -1,0 +1,84 @@
+"""The ``scenarios bench`` harness: sweep, CSV/JSON schema, regression gate."""
+
+import csv
+import json
+
+from repro.apps.scenarios import (
+    BENCH_CSV_COLUMNS,
+    _kernel_timer_churn,
+    check_bench_regression,
+    run_bench,
+    write_bench_csv,
+)
+
+
+def test_run_bench_produces_rows_for_every_grid_cell(tmp_path):
+    summary = run_bench(nodes_list=[8], churn_rates=[0.0], kernels=["wheel", "heap"],
+                        seed=3, lookups=5, micro_duration=2.0, quiet=True)
+    rows = summary["rows"]
+    scenario_rows = [r for r in rows if r["row_type"] == "scenario"]
+    kernel_rows = [r for r in rows if r["row_type"] == "kernel"]
+    assert len(scenario_rows) == 2  # one per kernel
+    assert len(kernel_rows) == 2
+    assert summary["mismatches"] == []  # kernels must agree byte-for-byte
+    digests = {r["report_digest"] for r in scenario_rows}
+    assert len(digests) == 1
+    for row in scenario_rows:
+        assert row["events_executed"] > 0
+        assert row["events_per_sec"] > 0
+        assert 0.0 <= row["success_rate"] <= 1.0
+    assert "kernel" in summary["speedups"]
+
+    csv_path = tmp_path / "bench.csv"
+    write_bench_csv(str(csv_path), rows)
+    with open(csv_path, newline="") as handle:
+        parsed = list(csv.DictReader(handle))
+    assert len(parsed) == len(rows)
+    assert list(parsed[0].keys()) == BENCH_CSV_COLUMNS
+
+    json_blob = json.dumps(summary, sort_keys=True)  # must be serialisable
+    assert "rows" in json.loads(json_blob)
+
+
+def test_kernel_timer_churn_is_deterministic_per_kernel():
+    wheel = _kernel_timer_churn("wheel", nodes=10, duration=5.0)
+    heap = _kernel_timer_churn("heap", nodes=10, duration=5.0)
+    # identical workloads: both kernels execute exactly the same events
+    assert wheel["events_executed"] == heap["events_executed"] > 0
+
+
+def test_check_bench_regression_flags_only_large_drops():
+    baseline = {"rows": [
+        {"row_type": "kernel", "kernel": "wheel", "nodes": 20, "churn_rate": "",
+         "events_per_sec": 1000.0},
+        {"row_type": "scenario", "kernel": "wheel", "nodes": 20, "churn_rate": 0.0,
+         "events_per_sec": 500.0},
+        {"row_type": "scenario", "kernel": "wheel", "nodes": 999, "churn_rate": 0.0,
+         "events_per_sec": 500.0},  # cell absent from the current run: ignored
+    ]}
+    current = {"rows": [
+        {"row_type": "kernel", "kernel": "wheel", "nodes": 20, "churn_rate": "",
+         "events_per_sec": 800.0},   # -20%: within the 30% tolerance
+        {"row_type": "scenario", "kernel": "wheel", "nodes": 20, "churn_rate": 0.0,
+         "events_per_sec": 300.0},   # -40%: regression
+    ]}
+    failures = check_bench_regression(current, baseline, tolerance=0.30)
+    assert len(failures) == 1
+    assert "scenario" in failures[0] and "40%" in failures[0]
+
+
+def test_bench_cli_writes_csv_and_json(tmp_path, capsys):
+    from repro.apps.scenarios import main
+
+    csv_path = tmp_path / "bench.csv"
+    json_path = tmp_path / "BENCH_kernel.json"
+    status = main(["bench", "--nodes", "8", "--churn-rates", "0",
+                   "--lookups", "5", "--micro-duration", "2",
+                   "--csv", str(csv_path), "--json", str(json_path), "--quiet"])
+    assert status == 0
+    assert csv_path.exists() and json_path.exists()
+    summary = json.loads(json_path.read_text())
+    assert summary["config"]["nodes"] == [8]
+    assert summary["mismatches"] == []
+    out = capsys.readouterr().out
+    assert "wrote" in out

@@ -95,6 +95,23 @@ def test_replace_keeps_population_steady():
     churn = controller.churn_managers[job.job_id]
     assert churn.stats.instances_left == churn.stats.instances_joined == 10
     assert job.stats.churn_leaves == job.stats.churn_joins == 10
+    # replace kills are graceful departures, never crashes
+    assert job.stats.churn_crashes == 0
+
+
+def test_crashes_and_graceful_leaves_are_counted_separately():
+    sim, controller, job = _deploy(
+        instances=10, churn_script="at 10s crash 3\nat 20s leave 2\n")
+    sim.run(until=30.0)
+    assert job.stats.churn_crashes == 3
+    assert job.stats.churn_leaves == 2
+    churn = controller.churn_managers[job.job_id]
+    assert churn.stats.instances_crashed == 3
+    assert churn.stats.instances_left == 2
+    # the controller surfaces the split in job_status
+    status = controller.job_status(job)
+    assert status["churn_crashes"] == 3
+    assert status["churn_leaves"] == 2
 
 
 def test_victim_selection_is_deterministic_per_seed():

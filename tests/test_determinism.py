@@ -1,0 +1,57 @@
+"""Property-style determinism: same seed, same results — across repeated
+runs in one Python process (pids, call ids and transfer ids must not leak
+between simulations) and across the two kernel implementations."""
+
+import json
+
+from repro.apps.scenarios import run_chord_scenario
+from repro.core.jobs import JobSpec
+from repro.net.network import Network
+from repro.runtime.controller import Controller
+from repro.runtime.splayd import Splayd, SplaydLimits
+from repro.sim.kernel import Simulator
+
+SCENARIO = dict(nodes=12, hosts=8, seed=11, churn=True, lookups=15,
+                join_window=30.0, settle=40.0)
+
+
+def _normalised(report: dict) -> str:
+    data = {k: v for k, v in report.items() if k != "kernel"}
+    return json.dumps(data, sort_keys=True, default=str)
+
+
+def test_chord_scenario_is_identical_when_run_twice_in_one_process():
+    first = run_chord_scenario(**SCENARIO)
+    second = run_chord_scenario(**SCENARIO)
+    assert first["events_executed"] == second["events_executed"]
+    assert first["measured"] == second["measured"]
+    assert first["under_churn"] == second["under_churn"]
+    assert first["churn"] == second["churn"]
+    assert _normalised(first) == _normalised(second)
+
+
+def test_chord_scenario_is_identical_across_kernels():
+    wheel = run_chord_scenario(kernel="wheel", **SCENARIO)
+    heap = run_chord_scenario(kernel="heap", **SCENARIO)
+    assert _normalised(wheel) == _normalised(heap)
+
+
+def test_churn_victim_sets_are_identical_across_in_process_runs():
+    def victims():
+        sim = Simulator(5)
+        network = Network(sim, seed=5)
+        controller = Controller(sim, network, seed=5)
+        for i in range(4):
+            controller.register_daemon(
+                Splayd(sim, network, f"10.0.0.{i + 1}", SplaydLimits(max_instances=4)))
+        spec = JobSpec(name="noop", app_factory=lambda instance: object(),
+                       instances=10,
+                       churn_script="at 5s crash 30%\nat 10s leave 2\n")
+        job = controller.submit(spec)
+        controller.start(job)
+        before = {i.instance_id for i in job.live_instances()}
+        sim.run(until=20.0)
+        after = {i.instance_id for i in job.live_instances()}
+        return tuple(sorted(before - after)), job.stats.churn_crashes, job.stats.churn_leaves
+
+    assert victims() == victims()

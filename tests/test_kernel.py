@@ -1,12 +1,15 @@
-"""Kernel: virtual clock, event ordering, determinism."""
+"""Kernel: virtual clock, event ordering, determinism, timer wheel."""
 
 import pytest
 
 from repro.sim.kernel import Simulator
 
+KERNELS = ("wheel", "heap")
 
-def test_same_instant_events_fire_in_schedule_order():
-    sim = Simulator()
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_same_instant_events_fire_in_schedule_order(kernel):
+    sim = Simulator(kernel=kernel)
     order = []
     sim.schedule(1.0, order.append, "a")
     sim.schedule(1.0, order.append, "b")
@@ -16,8 +19,9 @@ def test_same_instant_events_fire_in_schedule_order():
     assert order == ["c", "a", "b", "d"]
 
 
-def test_run_until_advances_clock_without_firing_later_events():
-    sim = Simulator()
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_run_until_advances_clock_without_firing_later_events(kernel):
+    sim = Simulator(kernel=kernel)
     fired = []
     sim.schedule(5.0, fired.append, "late")
     assert sim.run(until=2.0) == 2.0
@@ -28,8 +32,9 @@ def test_run_until_advances_clock_without_firing_later_events():
     assert sim.now == 5.0
 
 
-def test_cancelled_events_do_not_fire():
-    sim = Simulator()
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_cancelled_events_do_not_fire(kernel):
+    sim = Simulator(kernel=kernel)
     fired = []
     event = sim.schedule(1.0, fired.append, "x")
     sim.schedule(1.0, fired.append, "y")
@@ -39,8 +44,9 @@ def test_cancelled_events_do_not_fire():
     assert not event.pending
 
 
-def test_cannot_schedule_in_the_past():
-    sim = Simulator()
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_cannot_schedule_in_the_past(kernel):
+    sim = Simulator(kernel=kernel)
     sim.schedule(1.0, lambda: None)
     sim.run()
     with pytest.raises(ValueError):
@@ -49,8 +55,9 @@ def test_cannot_schedule_in_the_past():
         sim.schedule(-1.0, lambda: None)
 
 
-def test_event_callbacks_scheduling_more_events():
-    sim = Simulator()
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_event_callbacks_scheduling_more_events(kernel):
+    sim = Simulator(kernel=kernel)
     ticks = []
 
     def tick():
@@ -63,9 +70,10 @@ def test_event_callbacks_scheduling_more_events():
     assert ticks == [1.0, 2.0, 3.0]
 
 
-def test_two_seeded_runs_produce_identical_traces():
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_two_seeded_runs_produce_identical_traces(kernel):
     def trace(seed):
-        sim = Simulator(seed)
+        sim = Simulator(seed, kernel=kernel)
         out = []
 
         def step(label):
@@ -79,3 +87,165 @@ def test_two_seeded_runs_produce_identical_traces():
 
     assert trace(42) == trace(42)
     assert trace(42) != trace(43)
+
+
+# ------------------------------------------------------------- stop() + until
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_stop_during_run_until_does_not_jump_the_clock(kernel):
+    """Regression: stop() mid-run used to take the while/else branch and jump
+    ``now`` to ``until`` even though unexecuted events remained before it —
+    making subsequent schedule_at calls raise "cannot schedule in the past"."""
+    sim = Simulator(kernel=kernel)
+    fired = []
+
+    def first():
+        fired.append(sim.now)
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, fired.append, 2.0)  # still pending when stop() fires
+    assert sim.run(until=10.0) == 1.0
+    assert sim.now == 1.0
+    assert fired == [1.0]
+    assert sim.pending_events == 1
+    # The window between the stop point and `until` must stay schedulable.
+    sim.schedule_at(1.5, fired.append, 1.5)
+    sim.run(until=10.0)
+    assert fired == [1.0, 1.5, 2.0]
+    assert sim.now == 10.0
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_drained_run_until_still_advances_the_clock(kernel):
+    sim = Simulator(kernel=kernel)
+    sim.schedule(1.0, lambda: None)
+    assert sim.run(until=30.0) == 30.0
+    assert sim.now == 30.0
+
+
+# ---------------------------------------------------------- pending counter
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_pending_events_counter_tracks_schedules_cancels_and_fires(kernel):
+    sim = Simulator(kernel=kernel)
+    events = [sim.schedule(float(i % 7), lambda: None) for i in range(50)]
+    assert sim.pending_events == 50
+    for event in events[::2]:
+        event.cancel()
+    assert sim.pending_events == 25
+    events[0].cancel()  # double-cancel must not double-count
+    assert sim.pending_events == 25
+    sim.run()
+    assert sim.pending_events == 0
+    events[1].cancel()  # cancel after firing is a no-op
+    assert sim.pending_events == 0
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_clear_resets_pending_and_later_cancels_are_neutral(kernel):
+    sim = Simulator(kernel=kernel)
+    stale = sim.schedule(5.0, lambda: None)
+    sim.schedule(6.0, lambda: None)
+    sim.clear()
+    assert sim.pending_events == 0
+    stale.cancel()  # scheduled before the clear(): must not go negative
+    assert sim.pending_events == 0
+    sim.schedule(1.0, lambda: None)
+    assert sim.pending_events == 1
+    assert sim.run() == 1.0
+
+
+# ------------------------------------------------------------- wheel details
+def test_wheel_and_heap_execute_identical_orders_across_structures():
+    """Mixed workload spanning the ready deque, wheel buckets and the
+    overflow heap (delays far beyond the wheel horizon) must execute in
+    exactly the same (time, seq) order on both kernels."""
+    def trace(kernel):
+        sim = Simulator(3, kernel=kernel)
+        out = []
+
+        def emit(tag):
+            out.append((round(sim.now, 9), tag))
+
+        def burst(tag):
+            emit(tag)
+            # same-instant follow-ups exercise the ready deque
+            sim.schedule(0.0, emit, f"{tag}/soon")
+            if len(out) < 400:
+                delay = sim.rng.choice([0.0, 0.001, 0.0499, 0.05, 1.0 / 3.0,
+                                        2.5, 60.0, 500.0, 10_000.0])
+                sim.schedule(delay, burst, f"{tag}+")
+
+        for i in range(8):
+            sim.schedule(i * 0.013, burst, f"n{i}")
+        sim.run()
+        return out
+
+    assert trace("wheel") == trace("heap")
+
+
+def test_wheel_events_cancelled_inside_buckets_and_overflow():
+    sim = Simulator(kernel="wheel")
+    fired = []
+    near = sim.schedule(0.2, fired.append, "near")       # wheel bucket
+    far = sim.schedule(100_000.0, fired.append, "far")   # overflow heap
+    keep = sim.schedule(0.3, fired.append, "keep")
+    near.cancel()
+    far.cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert keep.fired and not near.fired and not far.fired
+    assert sim.pending_events == 0
+
+
+def test_wheel_overflow_ghost_purge_keeps_counts_consistent():
+    sim = Simulator(kernel="wheel")
+    far = [sim.schedule(100_000.0 + i, lambda: None) for i in range(300)]
+    for event in far[:299]:
+        event.cancel()  # triggers the lazy overflow compaction
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.executed_events == 1
+    assert sim.pending_events == 0
+
+
+def test_scheduling_into_the_jumped_until_window_works_on_the_wheel():
+    sim = Simulator(kernel="wheel")
+    sim.schedule(100.0, lambda: None)
+    sim.run(until=7.03)  # clock parks mid-bucket, ahead of the wheel cursor
+    fired = []
+    sim.schedule(0.0, fired.append, "soon")
+    sim.schedule_at(7.04, fired.append, "mid")
+    sim.schedule(0.5, fired.append, "later")
+    sim.run(until=9.0)
+    assert fired == ["soon", "mid", "later"]
+    assert sim.now == 9.0
+
+
+def test_call_soon_runs_after_already_scheduled_same_time_events():
+    for kernel in KERNELS:
+        sim = Simulator(kernel=kernel)
+        order = []
+        sim.schedule(0.0, order.append, "first")
+        sim.call_soon(order.append, "second")
+        sim.run()
+        assert order == ["first", "second"], kernel
+
+
+def test_unknown_kernel_is_rejected():
+    with pytest.raises(ValueError):
+        Simulator(kernel="splay-tree")
+
+
+# ------------------------------------------------------------------ pids
+def test_pids_are_per_simulator_and_reproducible():
+    from repro.sim.process import Process
+
+    def pids():
+        sim = Simulator(1)
+        procs = [Process(sim, (lambda: (yield 0.0))(), name=f"p{i}")
+                 for i in range(5)]
+        return [p.pid for p in procs]
+
+    first = pids()
+    second = pids()  # same process, fresh simulator: identical pid sequence
+    assert first == second == [1, 2, 3, 4, 5]

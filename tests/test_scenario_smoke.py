@@ -14,7 +14,10 @@ def test_chord_scenario_under_churn_meets_the_bar():
     assert measured["latency_p50_ms"] > 0
     churn = report["churn"]
     assert churn is not None and churn["actions_applied"] > 0
+    # the default script has both a crash burst and replace windows, and the
+    # two populations are tracked separately
     assert report["job"]["churn_leaves"] > 0
+    assert report["job"]["churn_crashes"] > 0
     assert report["log_records_collected"] > 0
 
 
