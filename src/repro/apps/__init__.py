@@ -7,8 +7,16 @@ through ``instance.rpc`` / ``instance.events`` / ``instance.fs`` /
 
 * :mod:`repro.apps.chord` — the paper's flagship: Chord with join,
   stabilization, finger maintenance and fault-tolerant lookups;
+* :mod:`repro.apps.pastry` — Pastry prefix routing with leaf sets and
+  churn repair;
+* :mod:`repro.apps.gossip` — Cyclon membership shuffling plus anti-entropy
+  epidemic broadcast;
+* :mod:`repro.apps.dissemination` — BitTorrent-style rarest-first chunk
+  swarming over the flow-level bandwidth model;
+* :mod:`repro.apps.registry` / :mod:`repro.apps.harness` — the pluggable
+  scenario registry and the shared deploy/churn/measure/report pipeline;
 * :mod:`repro.apps.scenarios` — end-to-end experiment entry points
-  (``python -m repro.apps.scenarios chord --nodes 50 --churn``).
+  (``python -m repro.apps.scenarios chord|pastry|gossip|dissemination``).
 """
 
 from repro.apps.chord import ChordNode, LookupFailed, chord_factory

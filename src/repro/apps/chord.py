@@ -434,3 +434,101 @@ def _dedupe(nodes: List[NodeRef]) -> List[NodeRef]:
             seen.add(key)
             unique.append(node)
     return unique
+
+
+# ----------------------------------------------------------------- scenario
+from repro.apps.harness import FLAGSHIP_CHURN_SCRIPT as DEFAULT_CHURN_SCRIPT  # noqa: E402
+
+
+def expected_owner(job, key: int, bits: int) -> Optional[NodeRef]:
+    """Ground truth: the successor of ``key`` among current ring members."""
+    members = job.shared.get("chord_members", [])
+    if not members:
+        return None
+    return min(members, key=lambda m: (ring_distance(key, m.id, bits), m.ip, m.port))
+
+
+def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int = 0,
+                       churn: bool = False, churn_script: Optional[str] = None,
+                       lookups: int = 200, bits: int = 32,
+                       join_window: Optional[float] = None,
+                       settle: Optional[float] = None, spacing: float = 0.25,
+                       probe_interval: float = 2.0, kernel: str = "wheel",
+                       duration: str = "full") -> dict:
+    """Run the flagship Chord-under-churn scenario and return the report dict.
+
+    ``join_window`` and ``settle`` default to values scaled with the ring
+    size — big rings need proportionally longer to join and re-converge
+    (``duration="short"`` is the quick CI preset).  ``kernel`` selects the
+    event-queue implementation (``"wheel"`` or the baseline ``"heap"``);
+    both produce byte-identical results for one seed.
+    """
+    from repro.apps import harness
+    from repro.sim.process import Process
+    from repro.sim.rng import substream
+
+    join_window, settle = harness.scaled_windows(nodes, join_window, settle, duration)
+    lookups = harness.scaled_ops(lookups, duration)
+    script = churn_script if churn_script is not None else (
+        DEFAULT_CHURN_SCRIPT if churn else None)
+    deployment = harness.deploy(
+        "chord", chord_factory(), nodes=nodes, hosts=hosts, seed=seed,
+        kernel=kernel, churn_script=script, options={"bits": bits},
+        join_window=join_window, settle=settle)
+    sim, job = deployment.sim, deployment.job
+
+    def _owner(job, key):
+        return expected_owner(job, key, bits)
+
+    # Probe lookups issued while churn is active (reported, not gating).
+    probe_results: List["harness.OpResult"] = []
+    if script and deployment.churn_end > deployment.warmup_end:
+        probe_count = int((deployment.churn_end - deployment.warmup_end) / probe_interval)
+        probe = Process(sim, harness.lookup_stream(
+            sim, job, probe_count, probe_interval, bits,
+            substream(seed, "workload-churn"), probe_results, _owner,
+            failure=LookupFailed), name="workload.under-churn")
+        probe.start(delay=deployment.warmup_end)
+
+    # The measured workload starts once the ring has re-converged.
+    results: List["harness.OpResult"] = []
+    driver = Process(sim, harness.lookup_stream(
+        sim, job, lookups, spacing, bits, substream(seed, "workload"),
+        results, _owner, failure=LookupFailed), name="workload.measured")
+    driver.start(delay=deployment.measure_start)
+
+    # Run until the measured workload drains (lookups take several RTTs each,
+    # so a fixed horizon would truncate the stream); a hard cap bounds runaway.
+    hard_cap = deployment.measure_start + lookups * (spacing + 30.0) + 300.0
+    harness.drain(sim, driver, hard_cap)
+
+    report = harness.base_report("chord", deployment, bits=bits)
+    report["under_churn"] = harness.summarise(probe_results) if probe_results else None
+    report["measured"] = harness.summarise(results)
+    report["cdf_samples_ms"] = sorted(
+        round(1000.0 * r.latency, 3) for r in results if r.completed)
+    return report
+
+
+def _register() -> None:
+    from repro.apps import registry
+
+    def _add_arguments(parser) -> None:
+        parser.add_argument("--lookups", type=int, default=200,
+                            help="measured lookups after the ring re-converges")
+        parser.add_argument("--bits", type=int, default=32, help="identifier width")
+
+    registry.register(registry.ScenarioSpec(
+        name="chord",
+        help="Chord DHT on a transit-stub network under churn",
+        runner=run_chord_scenario,
+        default_churn_script=DEFAULT_CHURN_SCRIPT,
+        add_arguments=_add_arguments,
+        make_kwargs=lambda args: {"lookups": args.lookups, "bits": args.bits},
+        ops_param="lookups",
+        ops_label="lookup",
+        default_min_success=0.99,
+    ))
+
+
+_register()

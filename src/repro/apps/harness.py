@@ -1,0 +1,340 @@
+"""Shared scenario harness: deploy, drive, measure, report.
+
+Every workload scenario (Chord, Pastry, epidemic gossip, BitTorrent-style
+dissemination) runs through the same pipeline: build a transit-stub
+substrate, register one splayd per host, submit the job through the
+controller, replay an optional churn script, drive a measured workload once
+the system has re-converged, and emit a deterministic report.  This module
+holds that pipeline so the per-workload modules only contain what is
+genuinely different — the application itself and its workload driver.
+
+Everything is keyed off one root seed: topology, placement, join staggering,
+churn victim selection and the workload all draw from deterministic
+substreams, so a given configuration always produces the same report (and
+the same ``report_digest``).
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional
+
+from repro.core.churn import parse_churn_script
+from repro.core.jobs import Job, JobSpec
+from repro.net.latency import TopologyLatency
+from repro.net.network import Network
+from repro.net.topology import TransitStubTopology
+from repro.runtime.controller import Controller
+from repro.runtime.splayd import Splayd, SplaydLimits
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+#: the flagship churn timeline shared by the Chord/Pastry/gossip scenarios:
+#: a crash burst, a continuous-replacement window, then a join wave — times
+#: are relative to job start
+FLAGSHIP_CHURN_SCRIPT = """\
+at 150s crash 10%
+from 180s to 300s every 30s replace 5%
+at 330s join 5
+"""
+
+#: hosts are laid out one per /24 inside consecutive /16s; blocks beyond
+#: ``10.255.0.0/16`` roll over into the next first octet (11, 12, ...)
+_HOSTS_PER_BLOCK = 65536
+_MAX_FIRST_OCTET = 126  # stop before 127.0.0.0/8 (loopback)
+MAX_HOSTS = (_MAX_FIRST_OCTET - 10 + 1) * _HOSTS_PER_BLOCK
+
+
+@dataclass
+class OpResult:
+    """Outcome of one measured operation (lookup, broadcast, download)."""
+
+    key: int
+    started_at: float
+    latency: float
+    hops: int
+    completed: bool
+    correct: bool
+
+
+#: historical name, kept for existing imports
+LookupResult = OpResult
+
+
+def host_ips(count: int) -> List[str]:
+    """Deterministic host addresses: one per /24, rolling over across /16s.
+
+    The first 65536 hosts live in ``10.0.0.0/8`` (``10.a.b.1``); each further
+    block of 65536 rolls over into the next first octet (``11.a.b.1``, ...).
+    Raises a clear :class:`ValueError` once the address plan is exhausted
+    instead of silently reusing addresses.
+    """
+    if count > MAX_HOSTS:
+        raise ValueError(
+            f"cannot lay out {count} hosts: the address plan supports at most "
+            f"{MAX_HOSTS} (one /24 per host, first octets 10..{_MAX_FIRST_OCTET})")
+    ips = []
+    for i in range(count):
+        first = 10 + i // _HOSTS_PER_BLOCK
+        rest = i % _HOSTS_PER_BLOCK
+        ips.append(f"{first}.{rest // 256}.{rest % 256}.1")
+    return ips
+
+
+# ------------------------------------------------------------------ summaries
+def percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+def summarise(results: List[OpResult]) -> dict:
+    """Aggregate a result list into the report's standard summary block."""
+    issued = len(results)
+    completed = [r for r in results if r.completed]
+    correct = [r for r in results if r.correct]
+    latencies = [r.latency for r in completed]
+    hops = [r.hops for r in completed]
+    return {
+        "issued": issued,
+        "completed": len(completed),
+        "correct": len(correct),
+        "success_rate": (len(correct) / issued) if issued else 0.0,
+        "latency_mean_ms": 1000.0 * (sum(latencies) / len(latencies)) if latencies else 0.0,
+        "latency_p50_ms": 1000.0 * percentile(latencies, 0.50),
+        "latency_p95_ms": 1000.0 * percentile(latencies, 0.95),
+        "latency_max_ms": 1000.0 * (max(latencies) if latencies else 0.0),
+        "hops_mean": (sum(hops) / len(hops)) if hops else 0.0,
+        "hops_max": max(hops) if hops else 0,
+    }
+
+
+def report_digest(report: dict) -> str:
+    """Seed-stable digest of a scenario report (kernel choice excluded)."""
+    data = {k: v for k, v in report.items() if k != "kernel"}
+    encoded = json.dumps(data, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()[:16]
+
+
+def write_cdf(path: str, latencies_ms: List[float]) -> int:
+    """Write a ``(latency_ms, fraction)`` CSV — the paper's Figures 7-13 shape.
+
+    ``fraction`` is the empirical CDF: the share of samples at or below each
+    latency.  Returns the number of samples written.
+    """
+    ordered = sorted(latencies_ms)
+    total = len(ordered)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["latency_ms", "fraction"])
+        for index, value in enumerate(ordered, start=1):
+            writer.writerow([round(value, 3), round(index / total, 6)])
+    return total
+
+
+# ----------------------------------------------------------------- deployment
+@dataclass
+class Deployment:
+    """Everything a workload driver needs after the job is running."""
+
+    sim: Simulator
+    network: Network
+    topology: TransitStubTopology
+    controller: Controller
+    job: Job
+    nodes: int
+    host_count: int
+    seed: int
+    kernel: str
+    join_window: float
+    settle: float
+    #: end of the deployment warm-up phase (joins done + grace period)
+    warmup_end: float
+    #: time of the last churn action (== warmup_end when churn is off)
+    churn_end: float
+    #: when the measured workload may start (churn_end + settle)
+    measure_start: float
+
+
+def scaled_windows(nodes: int, join_window: Optional[float],
+                   settle: Optional[float], duration: str = "full") -> tuple:
+    """Default join/settle windows, scaled with ring size and duration preset.
+
+    ``duration="short"`` is the CI smoke preset: proportionally shorter
+    windows so a 20-node deployment completes in a couple of wall seconds.
+    """
+    if duration not in ("short", "full"):
+        raise ValueError(f"unknown duration preset: {duration!r}")
+    if join_window is None:
+        join_window = (max(20.0, 0.4 * nodes) if duration == "short"
+                       else max(60.0, 0.8 * nodes))
+    if settle is None:
+        settle = (max(30.0, 0.3 * nodes) if duration == "short"
+                  else max(90.0, 0.6 * nodes))
+    return join_window, settle
+
+
+def scaled_ops(ops: int, duration: str) -> int:
+    """Measured-operation count under a duration preset (short = 1/4, min 12)."""
+    if duration == "short":
+        return max(12, ops // 4)
+    return ops
+
+
+def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = None,
+           seed: int = 0, kernel: str = "wheel", churn_script: Optional[str] = None,
+           options: Optional[dict] = None, base_port: int = 20000,
+           join_window: float = 60.0, settle: float = 90.0,
+           warmup_grace: float = 60.0) -> Deployment:
+    """Build the substrate, register daemons, submit and start the job.
+
+    The substrate is the paper's ModelNet configuration: a transit-stub
+    topology with 10 Mbps access links, hosts round-robined onto stub nodes,
+    one splayd per host with enough instance slots for the deployment plus
+    churn headroom.
+    """
+    sim = Simulator(seed, kernel=kernel)
+    host_count = hosts if hosts is not None else max(8, nodes // 2)
+    ips = host_ips(host_count)
+
+    topology = TransitStubTopology(seed=seed)
+    attachment = topology.attach_hosts(ips)
+    network = Network(sim, latency=TopologyLatency(topology, attachment), seed=seed)
+    for ip in ips:
+        network.bandwidth.set_capacity(ip, topology.link_bandwidth_bps,
+                                       topology.link_bandwidth_bps)
+
+    controller = Controller(sim, network, seed=seed)
+    slots = max(2, math.ceil(nodes / host_count) + 2)
+    for ip in ips:
+        controller.register_daemon(
+            Splayd(sim, network, ip, SplaydLimits(max_instances=slots)))
+
+    spec = JobSpec(
+        name=name,
+        app_factory=app_factory,
+        instances=nodes,
+        base_port=base_port,
+        log_level="INFO",
+        log_max_bytes=256_000,
+        churn_script=churn_script,
+        options={**(options or {}), "join_window": join_window},
+    )
+    job = controller.submit(spec)
+    controller.start(job)
+
+    warmup_end = join_window + warmup_grace
+    churn_end = warmup_end
+    if churn_script:
+        actions = parse_churn_script(churn_script)
+        if actions:
+            churn_end = max(warmup_end, max(a.time for a in actions))
+    return Deployment(sim=sim, network=network, topology=topology,
+                      controller=controller, job=job, nodes=nodes,
+                      host_count=host_count, seed=seed, kernel=kernel,
+                      join_window=join_window, settle=settle,
+                      warmup_end=warmup_end, churn_end=churn_end,
+                      measure_start=churn_end + settle)
+
+
+# -------------------------------------------------------------------- drivers
+def joined_apps(job: Job) -> list:
+    """Live application objects that consider themselves joined, in id order."""
+    return [i.app for i in job.live_instances()
+            if i.app is not None and getattr(i.app, "joined", False)]
+
+
+def lookup_stream(sim: Simulator, job: Job, count: int, spacing: float, bits: int,
+                  rng, results: List[OpResult],
+                  expected_owner: Callable[[Job, int], object],
+                  failure: type = Exception) -> Generator:
+    """Coroutine issuing ``count`` key lookups from random live nodes.
+
+    The application object must expose ``joined`` and a generator
+    ``lookup(key) -> (owner, hops)`` raising ``failure`` on routing failure;
+    ``expected_owner(job, key)`` supplies the ground truth against which the
+    returned owner is checked.
+    """
+    for _ in range(count):
+        apps = joined_apps(job)
+        if not apps:
+            yield spacing
+            continue
+        origin = rng.choice(sorted(apps, key=lambda a: (a.me.ip, a.me.port)))
+        key = rng.randrange(1 << bits)
+        started = sim.now
+        try:
+            owner, hops = yield from origin.lookup(key)
+        except failure:
+            results.append(OpResult(key, started, sim.now - started, 0, False, False))
+        except Exception:  # noqa: BLE001 - origin died mid-lookup (churn)
+            results.append(OpResult(key, started, sim.now - started, 0, False, False))
+        else:
+            expected = expected_owner(job, key)
+            correct = (expected is not None and owner.ip == expected.ip
+                       and owner.port == expected.port)
+            results.append(OpResult(key, started, sim.now - started, hops, True, correct))
+        yield spacing
+
+
+def drain(sim: Simulator, driver: Process, hard_cap: float, step: float = 60.0) -> None:
+    """Run the simulation until ``driver`` finishes (bounded by ``hard_cap``)."""
+    while not driver.done.done() and sim.now < hard_cap:
+        sim.run(until=min(hard_cap, sim.now + step))
+
+
+# --------------------------------------------------------------------- report
+def rpc_totals(job: Job) -> dict:
+    """RPC counters aggregated over instances alive at the end of the run."""
+    totals = {"calls_sent": 0, "calls_received": 0, "retries": 0,
+              "timeouts": 0, "remote_errors": 0, "send_failures": 0}
+    for instance in job.live_instances():
+        stats = instance.rpc.stats
+        for key in totals:
+            totals[key] += getattr(stats, key)
+    return totals
+
+
+def base_report(scenario: str, deployment: Deployment, bits: Optional[int] = None) -> dict:
+    """The report skeleton shared by every workload scenario."""
+    sim, network, job = deployment.sim, deployment.network, deployment.job
+    controller = deployment.controller
+    report = {
+        "scenario": scenario,
+        "seed": deployment.seed,
+        "kernel": deployment.kernel,
+        "nodes": deployment.nodes,
+        "hosts": deployment.host_count,
+        "bits": bits,
+        "topology": deployment.topology.describe(),
+        "virtual_time": sim.now,
+        "events_executed": sim.executed_events,
+        "job": controller.job_status(job),
+        "churn": None,
+        "under_churn": None,
+        "measured": None,
+        "network": {
+            "messages_sent": network.stats.messages_sent,
+            "messages_delivered": network.stats.messages_delivered,
+            "messages_dropped": network.stats.messages_dropped,
+            "bytes_sent": network.stats.bytes_sent,
+        },
+        "rpc": rpc_totals(job),
+        "log_records_collected": len(controller.logs.get(job.job_id, [])),
+    }
+    churn_manager = controller.churn_managers.get(job.job_id)
+    if churn_manager is not None:
+        stats = churn_manager.stats
+        report["churn"] = {
+            "actions_applied": stats.actions_applied,
+            "joined": stats.instances_joined,
+            "left": stats.instances_left,
+            "crashed": stats.instances_crashed,
+        }
+    return report

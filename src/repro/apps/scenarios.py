@@ -1,259 +1,57 @@
 """End-to-end experiment scenarios (``python -m repro.apps.scenarios``).
 
-The flagship scenario reproduces the paper's Chord-under-churn experiment:
-deploy Chord through the controller onto splayd daemons spread over a
-transit-stub (ModelNet-style) topology, replay a churn script against the
-job, then measure lookup correctness and latency once the ring re-converges.
+Every registered workload (Chord, Pastry, epidemic gossip, BitTorrent-style
+dissemination — see :mod:`repro.apps.registry`) gets a subcommand with the
+same deployment/churn/measurement plumbing: deploy through the controller
+onto splayd daemons spread over a transit-stub (ModelNet-style) topology,
+replay a churn script against the job, then measure the workload once the
+system re-converges.  ``--cdf PATH`` dumps the measured latency
+distribution as a ``(latency_ms, fraction)`` CSV — the shape of the paper's
+Figures 7-13.
 
 Everything is driven by one root seed: topology, placement, join staggering,
-churn victim selection and the lookup workload all draw from deterministic
-substreams, so a given command line always produces the same report.
+churn victim selection and the workload all draw from deterministic
+substreams, so a given command line always produces the same report (and
+prints the same ``report digest``).
+
+``scenarios bench`` sweeps nodes x churn-rate (and optionally host-count)
+grids for any registered workload over both kernels and emits CSV + JSON
+perf numbers with a regression gate.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
-import hashlib
 import json
-import math
 import sys
 import time
-from dataclasses import dataclass
-from typing import Generator, List, Optional
+from typing import List, Optional
 
-from repro.apps.chord import LookupFailed, chord_factory
+from repro.apps import harness, registry
+# Re-exported for compatibility: the flagship runner and its churn script
+# historically lived in this module.
+from repro.apps.chord import DEFAULT_CHURN_SCRIPT, run_chord_scenario  # noqa: F401
 from repro.core.churn import parse_churn_script, synthetic_churn_script
-from repro.core.jobs import JobSpec
-from repro.lib.ring import ring_distance
-from repro.net.latency import TopologyLatency
-from repro.net.network import Network
-from repro.net.topology import TransitStubTopology
-from repro.runtime.controller import Controller
-from repro.runtime.splayd import Splayd, SplaydLimits
 from repro.sim.kernel import Simulator
-from repro.sim.process import Process
-from repro.sim.rng import substream
 
-#: the flagship churn script: a crash burst, a continuous-replacement
-#: window, then a join wave — times are relative to job start
-DEFAULT_CHURN_SCRIPT = """\
-at 150s crash 10%
-from 180s to 300s every 30s replace 5%
-at 330s join 5
-"""
+#: historical aliases (the implementations moved to ``repro.apps.harness``)
+LookupResult = harness.OpResult
+_host_ips = harness.host_ips
+_percentile = harness.percentile
+_summarise = harness.summarise
+_report_digest = harness.report_digest
 
 
-@dataclass
-class LookupResult:
-    """Outcome of one measured lookup."""
-
-    key: int
-    started_at: float
-    latency: float
-    hops: int
-    completed: bool
-    correct: bool
-
-
-def _host_ips(count: int) -> List[str]:
-    if count > 65536:
-        raise ValueError("scenario supports at most 65536 hosts")
-    return [f"10.{i // 256}.{i % 256}.1" for i in range(count)]
-
-
-def _expected_owner(job, key: int, bits: int):
-    """Ground truth: the successor of ``key`` among current ring members."""
-    members = job.shared.get("chord_members", [])
-    if not members:
-        return None
-    return min(members, key=lambda m: (ring_distance(key, m.id, bits), m.ip, m.port))
-
-
-def _lookup_stream(sim: Simulator, job, count: int, spacing: float, bits: int,
-                   rng, results: List[LookupResult]) -> Generator:
-    """Coroutine issuing ``count`` lookups from random live nodes."""
-    for _ in range(count):
-        apps = [i.app for i in job.live_instances()
-                if i.app is not None and getattr(i.app, "joined", False)]
-        if not apps:
-            yield spacing
-            continue
-        origin = rng.choice(sorted(apps, key=lambda a: (a.me.ip, a.me.port)))
-        key = rng.randrange(1 << bits)
-        started = sim.now
-        try:
-            owner, hops = yield from origin.lookup(key)
-        except LookupFailed:
-            results.append(LookupResult(key, started, sim.now - started, 0, False, False))
-        except Exception:  # noqa: BLE001 - origin died mid-lookup (churn)
-            results.append(LookupResult(key, started, sim.now - started, 0, False, False))
-        else:
-            expected = _expected_owner(job, key, bits)
-            correct = (expected is not None and owner.ip == expected.ip
-                       and owner.port == expected.port)
-            results.append(LookupResult(key, started, sim.now - started, hops, True, correct))
-        yield spacing
-
-
-def _percentile(values: List[float], fraction: float) -> float:
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
-    return ordered[index]
-
-
-def _summarise(results: List[LookupResult]) -> dict:
-    issued = len(results)
-    completed = [r for r in results if r.completed]
-    correct = [r for r in results if r.correct]
-    latencies = [r.latency for r in completed]
-    hops = [r.hops for r in completed]
-    return {
-        "issued": issued,
-        "completed": len(completed),
-        "correct": len(correct),
-        "success_rate": (len(correct) / issued) if issued else 0.0,
-        "latency_mean_ms": 1000.0 * (sum(latencies) / len(latencies)) if latencies else 0.0,
-        "latency_p50_ms": 1000.0 * _percentile(latencies, 0.50),
-        "latency_p95_ms": 1000.0 * _percentile(latencies, 0.95),
-        "latency_max_ms": 1000.0 * (max(latencies) if latencies else 0.0),
-        "hops_mean": (sum(hops) / len(hops)) if hops else 0.0,
-        "hops_max": max(hops) if hops else 0,
-    }
-
-
-def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int = 0,
-                       churn: bool = False, churn_script: Optional[str] = None,
-                       lookups: int = 200, bits: int = 32,
-                       join_window: Optional[float] = None,
-                       settle: Optional[float] = None, spacing: float = 0.25,
-                       probe_interval: float = 2.0, kernel: str = "wheel") -> dict:
-    """Run the flagship scenario and return the report dict.
-
-    ``join_window`` and ``settle`` default to values scaled with the ring
-    size — big rings need proportionally longer to join and re-converge.
-    ``kernel`` selects the event-queue implementation (``"wheel"`` or the
-    baseline ``"heap"``); both produce byte-identical results for one seed.
-    """
-    if join_window is None:
-        join_window = max(60.0, 0.8 * nodes)
-    if settle is None:
-        settle = max(90.0, 0.6 * nodes)
-    sim = Simulator(seed, kernel=kernel)
-    host_count = hosts if hosts is not None else max(8, nodes // 2)
-    ips = _host_ips(host_count)
-
-    # ModelNet-style substrate: the paper's 500-node transit-stub topology
-    # parameters, 10 Mbps access links, hosts round-robined onto stub nodes.
-    topology = TransitStubTopology(seed=seed)
-    attachment = topology.attach_hosts(ips)
-    network = Network(sim, latency=TopologyLatency(topology, attachment), seed=seed)
-    for ip in ips:
-        network.bandwidth.set_capacity(ip, topology.link_bandwidth_bps,
-                                       topology.link_bandwidth_bps)
-
-    controller = Controller(sim, network, seed=seed)
-    slots = max(2, math.ceil(nodes / host_count) + 2)
-    for ip in ips:
-        controller.register_daemon(
-            Splayd(sim, network, ip, SplaydLimits(max_instances=slots)))
-
-    script = churn_script if churn_script is not None else (
-        DEFAULT_CHURN_SCRIPT if churn else None)
-    spec = JobSpec(
-        name="chord",
-        app_factory=chord_factory(),
-        instances=nodes,
-        base_port=20000,
-        log_level="INFO",
-        log_max_bytes=256_000,
-        churn_script=script,
-        options={"bits": bits, "join_window": join_window},
-    )
-    job = controller.submit(spec)
-    controller.start(job)
-
-    warmup_end = join_window + 60.0
-    churn_end = warmup_end
-    if script:
-        actions = parse_churn_script(script)
-        if actions:
-            churn_end = max(warmup_end, max(a.time for a in actions))
-    measure_start = churn_end + settle
-
-    # Probe lookups issued while churn is active (reported, not gating).
-    probe_results: List[LookupResult] = []
-    if script and churn_end > warmup_end:
-        probe_count = int((churn_end - warmup_end) / probe_interval)
-        probe = Process(sim, _lookup_stream(sim, job, probe_count, probe_interval, bits,
-                                            substream(seed, "workload-churn"),
-                                            probe_results),
-                        name="workload.under-churn")
-        probe.start(delay=warmup_end)
-
-    # The measured workload starts once the ring has re-converged.
-    results: List[LookupResult] = []
-    driver = Process(sim, _lookup_stream(sim, job, lookups, spacing, bits,
-                                         substream(seed, "workload"), results),
-                     name="workload.measured")
-    driver.start(delay=measure_start)
-
-    # Run until the measured workload drains (lookups take several RTTs each,
-    # so a fixed horizon would truncate the stream); a hard cap bounds runaway.
-    hard_cap = measure_start + lookups * (spacing + 30.0) + 300.0
-    while not driver.done.done() and sim.now < hard_cap:
-        sim.run(until=min(hard_cap, sim.now + 60.0))
-
-    churn_manager = controller.churn_managers.get(job.job_id)
-    rpc_totals = {"calls_sent": 0, "calls_received": 0, "retries": 0,
-                  "timeouts": 0, "remote_errors": 0, "send_failures": 0}
-    for instance in job.live_instances():
-        stats = instance.rpc.stats
-        for key in rpc_totals:
-            rpc_totals[key] += getattr(stats, key)
-    report = {
-        "scenario": "chord",
-        "seed": seed,
-        "kernel": kernel,
-        "nodes": nodes,
-        "hosts": host_count,
-        "bits": bits,
-        "topology": topology.describe(),
-        "virtual_time": sim.now,
-        "events_executed": sim.executed_events,
-        "job": controller.job_status(job),
-        "churn": None,
-        "under_churn": _summarise(probe_results) if probe_results else None,
-        "measured": _summarise(results),
-        "network": {
-            "messages_sent": network.stats.messages_sent,
-            "messages_delivered": network.stats.messages_delivered,
-            "messages_dropped": network.stats.messages_dropped,
-            "bytes_sent": network.stats.bytes_sent,
-        },
-        #: aggregated over instances alive at the end of the run
-        "rpc": rpc_totals,
-        "log_records_collected": len(controller.logs.get(job.job_id, [])),
-    }
-    if churn_manager is not None:
-        stats = churn_manager.stats
-        report["churn"] = {
-            "actions_applied": stats.actions_applied,
-            "joined": stats.instances_joined,
-            "left": stats.instances_left,
-            "crashed": stats.instances_crashed,
-        }
-    return report
-
-
-def _print_report(report: dict) -> None:
+# ------------------------------------------------------------------ reporting
+def _print_report(report: dict, spec: registry.ScenarioSpec) -> None:
     job = report["job"]
     measured = report["measured"]
+    label = spec.ops_label
+    bits = f", bits={report['bits']}" if report.get("bits") is not None else ""
     print(f"=== SPLAY scenario: {report['scenario']} "
-          f"(seed={report['seed']}, nodes={report['nodes']}, hosts={report['hosts']}, "
-          f"bits={report['bits']}) ===")
+          f"(seed={report['seed']}, nodes={report['nodes']}, "
+          f"hosts={report['hosts']}{bits}) ===")
     print(f"virtual time: {report['virtual_time']:.0f}s   "
           f"events: {report['events_executed']}")
     print(f"job: state={job['state']} live={job['live_instances']} "
@@ -268,28 +66,36 @@ def _print_report(report: dict) -> None:
               f"{churn['joined']} joined")
     if report["under_churn"]:
         under = report["under_churn"]
-        print(f"lookups under churn: {under['correct']}/{under['issued']} correct "
+        print(f"{label}s under churn: {under['correct']}/{under['issued']} correct "
               f"({100 * under['success_rate']:.1f}%), "
               f"latency p50={under['latency_p50_ms']:.0f}ms "
               f"p95={under['latency_p95_ms']:.0f}ms")
-    print(f"measured lookups: {measured['correct']}/{measured['issued']} correct "
+    print(f"measured {label}s: {measured['correct']}/{measured['issued']} correct "
           f"-> success rate {100 * measured['success_rate']:.2f}%")
-    print(f"lookup latency: mean={measured['latency_mean_ms']:.0f}ms "
+    print(f"{label} latency: mean={measured['latency_mean_ms']:.0f}ms "
           f"p50={measured['latency_p50_ms']:.0f}ms "
           f"p95={measured['latency_p95_ms']:.0f}ms "
           f"max={measured['latency_max_ms']:.0f}ms")
-    print(f"lookup hops: mean={measured['hops_mean']:.2f} max={measured['hops_max']}")
+    print(f"{label} hops: mean={measured['hops_mean']:.2f} max={measured['hops_max']}")
+    workload = report.get("workload") or {}
+    for key in spec.extra_report_lines:
+        if key in workload:
+            value = workload[key]
+            if isinstance(value, float):
+                value = f"{value:.4f}"
+            print(f"{spec.name} {key.replace('_', ' ')}: {value}")
     network = report["network"]
     print(f"network: {network['messages_sent']} sent, "
           f"{network['messages_delivered']} delivered, "
           f"{network['messages_dropped']} dropped, "
           f"{network['bytes_sent']} bytes")
+    print(f"report digest: {harness.report_digest(report)}")
 
 
 # --------------------------------------------------------------------- bench
 #: CSV columns emitted by ``scenarios bench`` (one row per grid cell+kernel)
 BENCH_CSV_COLUMNS = [
-    "row_type", "kernel", "nodes", "churn_rate", "seed",
+    "row_type", "workload", "kernel", "nodes", "hosts", "churn_rate", "seed",
     "wall_sec", "virtual_time", "events_executed", "events_per_sec",
     "wall_per_virtual_sec",
     "lookups_issued", "lookups_correct", "success_rate",
@@ -299,13 +105,6 @@ BENCH_CSV_COLUMNS = [
     "churn_joins", "churn_leaves", "churn_crashes",
     "report_digest",
 ]
-
-
-def _report_digest(report: dict) -> str:
-    """Seed-stable digest of a scenario report (kernel choice excluded)."""
-    data = {k: v for k, v in report.items() if k != "kernel"}
-    encoded = json.dumps(data, sort_keys=True, default=str).encode("utf-8")
-    return hashlib.sha256(encoded).hexdigest()[:16]
 
 
 def _kernel_timer_churn(kernel: str, nodes: int, duration: float = 60.0,
@@ -340,8 +139,10 @@ def _kernel_timer_churn(kernel: str, nodes: int, duration: float = 60.0,
     wall = time.perf_counter() - start
     return {
         "row_type": "kernel",
+        "workload": "",
         "kernel": kernel,
         "nodes": nodes,
+        "hosts": "",
         "churn_rate": "",
         "seed": seed,
         "wall_sec": round(wall, 4),
@@ -352,16 +153,18 @@ def _kernel_timer_churn(kernel: str, nodes: int, duration: float = 60.0,
     }
 
 
-def _bench_scenario_row(kernel: str, nodes: int, churn_rate: float, seed: int,
-                        report: dict, wall: float) -> dict:
-    measured = report["measured"]
+def _bench_scenario_row(spec: registry.ScenarioSpec, kernel: str, nodes: int,
+                        churn_rate: float, seed: int, report: dict,
+                        wall: float) -> dict:
     network = report["network"]
     job = report["job"]
     virtual = report["virtual_time"]
-    return {
+    row = {
         "row_type": "scenario",
+        "workload": spec.name,
         "kernel": kernel,
         "nodes": nodes,
+        "hosts": report["hosts"],
         "churn_rate": churn_rate,
         "seed": seed,
         "wall_sec": round(wall, 4),
@@ -369,12 +172,6 @@ def _bench_scenario_row(kernel: str, nodes: int, churn_rate: float, seed: int,
         "events_executed": report["events_executed"],
         "events_per_sec": round(report["events_executed"] / wall, 1) if wall > 0 else 0.0,
         "wall_per_virtual_sec": round(wall / virtual, 6) if virtual else 0.0,
-        "lookups_issued": measured["issued"],
-        "lookups_correct": measured["correct"],
-        "success_rate": round(measured["success_rate"], 6),
-        "latency_p50_ms": round(measured["latency_p50_ms"], 3),
-        "latency_p95_ms": round(measured["latency_p95_ms"], 3),
-        "hops_mean": round(measured["hops_mean"], 4),
         "rpc_calls_sent": report["rpc"]["calls_sent"],
         "rpc_retries": report["rpc"]["retries"],
         "rpc_timeouts": report["rpc"]["timeouts"],
@@ -384,45 +181,59 @@ def _bench_scenario_row(kernel: str, nodes: int, churn_rate: float, seed: int,
         "churn_joins": job["churn_joins"],
         "churn_leaves": job["churn_leaves"],
         "churn_crashes": job["churn_crashes"],
-        "report_digest": _report_digest(report),
+        "report_digest": harness.report_digest(report),
     }
+    row.update(spec.bench_metrics(report))
+    return row
 
 
 def run_bench(nodes_list: List[int], churn_rates: List[float],
               kernels: List[str], seed: int = 0, lookups: int = 100,
-              micro_duration: float = 60.0, quiet: bool = False) -> dict:
+              micro_duration: float = 60.0, quiet: bool = False,
+              workload: str = "chord",
+              hosts_list: Optional[List[Optional[int]]] = None) -> dict:
     """Sweep the scenario grid and the kernel microbenchmark; return the summary.
 
-    For every ``(nodes, churn_rate)`` cell the scenario runs once per kernel
-    and the two reports must be byte-identical (``mismatches`` collects any
-    divergence — a correctness failure, not a perf number).
+    For every ``(nodes, hosts, churn_rate)`` cell the scenario runs once per
+    kernel and the reports must be byte-identical (``mismatches`` collects
+    any divergence — a correctness failure, not a perf number).
+    ``hosts_list`` adds a host-count sweep dimension (``None`` = the
+    workload's default of nodes/2).
     """
     def say(text: str) -> None:
         if not quiet:
             print(text, flush=True)
 
+    spec = registry.get_spec(workload)
+    hosts_sweep: List[Optional[int]] = hosts_list if hosts_list else [None]
     rows: List[dict] = []
     mismatches: List[str] = []
     for nodes in nodes_list:
-        for rate in churn_rates:
-            script = synthetic_churn_script(duration=120.0, period=30.0,
-                                            fraction=rate) if rate > 0 else None
-            digests = {}
-            for kernel in kernels:
-                start = time.perf_counter()
-                report = run_chord_scenario(nodes=nodes, seed=seed,
-                                            churn_script=script,
-                                            lookups=lookups, kernel=kernel)
-                wall = time.perf_counter() - start
-                row = _bench_scenario_row(kernel, nodes, rate, seed, report, wall)
-                rows.append(row)
-                digests[kernel] = row["report_digest"]
-                say(f"scenario nodes={nodes} churn={rate:g} kernel={kernel}: "
-                    f"{row['events_per_sec']:.0f} ev/s, "
-                    f"success={row['success_rate']:.3f}, wall={wall:.2f}s")
-            if len(set(digests.values())) > 1:
-                mismatches.append(
-                    f"nodes={nodes} churn={rate:g}: kernel reports diverge {digests}")
+        for hosts in hosts_sweep:
+            for rate in churn_rates:
+                script = synthetic_churn_script(duration=120.0, period=30.0,
+                                                fraction=rate) if rate > 0 else None
+                digests = {}
+                for kernel in kernels:
+                    kwargs = dict(nodes=nodes, hosts=hosts, seed=seed,
+                                  churn_script=script, kernel=kernel)
+                    if spec.ops_param is not None:
+                        kwargs[spec.ops_param] = lookups
+                    start = time.perf_counter()
+                    report = spec.runner(**kwargs)
+                    wall = time.perf_counter() - start
+                    row = _bench_scenario_row(spec, kernel, nodes, rate, seed,
+                                              report, wall)
+                    rows.append(row)
+                    digests[kernel] = row["report_digest"]
+                    say(f"scenario workload={spec.name} nodes={nodes} "
+                        f"hosts={row['hosts']} churn={rate:g} kernel={kernel}: "
+                        f"{row['events_per_sec']:.0f} ev/s, "
+                        f"success={row['success_rate']:.3f}, wall={wall:.2f}s")
+                if len(set(digests.values())) > 1:
+                    mismatches.append(
+                        f"workload={spec.name} nodes={nodes} hosts={hosts} "
+                        f"churn={rate:g}: kernel reports diverge {digests}")
     for nodes in nodes_list:
         per_kernel = {}
         for kernel in kernels:
@@ -438,7 +249,9 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
     summary = {
         "bench": "kernel",
         "config": {
+            "workload": workload,
             "nodes": nodes_list,
+            "hosts": hosts_list,
             "churn_rates": churn_rates,
             "kernels": kernels,
             "seed": seed,
@@ -457,11 +270,19 @@ def _bench_speedups(rows: List[dict]) -> dict:
     speedups: dict = {"scenario": {}, "kernel": {}}
     by_cell: dict = {}
     for row in rows:
-        cell = (row["row_type"], row["nodes"], row.get("churn_rate", ""))
+        cell = (row["row_type"], row.get("workload", ""), row["nodes"],
+                row.get("hosts", ""), row.get("churn_rate", ""))
         by_cell.setdefault(cell, {})[row["kernel"]] = row["events_per_sec"]
-    for (row_type, nodes, rate), per_kernel in sorted(by_cell.items(), key=str):
+    for (row_type, workload, nodes, hosts, rate), per_kernel in sorted(
+            by_cell.items(), key=str):
         if "wheel" in per_kernel and per_kernel.get("heap"):
-            key = f"nodes={nodes}" + (f",churn={rate}" if rate != "" else "")
+            key = f"nodes={nodes}"
+            if workload:
+                key = f"workload={workload}," + key
+            if hosts != "":
+                key += f",hosts={hosts}"
+            if rate != "":
+                key += f",churn={rate}"
             speedups[row_type][key] = round(per_kernel["wheel"] / per_kernel["heap"], 3)
     return speedups
 
@@ -484,7 +305,8 @@ def check_bench_regression(summary: dict, baseline: dict,
     def index(rows: List[dict]) -> dict:
         # The workload signature (lookups, virtual duration) is part of the
         # key: rows are only comparable when they ran the same experiment.
-        return {(r["row_type"], r["kernel"], r["nodes"], r.get("churn_rate", ""),
+        return {(r["row_type"], r.get("workload", ""), r["kernel"], r["nodes"],
+                 r.get("hosts", ""), r.get("churn_rate", ""),
                  r.get("lookups_issued", ""), r.get("virtual_time", "")): r
                 for r in rows}
 
@@ -503,40 +325,95 @@ def check_bench_regression(summary: dict, baseline: dict,
     return failures
 
 
+# ----------------------------------------------------------------------- CLI
+def _add_common_arguments(parser: argparse.ArgumentParser,
+                          spec: registry.ScenarioSpec) -> None:
+    parser.add_argument("--nodes", type=int, default=50,
+                        help="application instances to deploy")
+    parser.add_argument("--hosts", type=int, default=None,
+                        help="physical hosts (default: nodes/2, min 8)")
+    parser.add_argument("--seed", type=int, default=0, help="root determinism seed")
+    parser.add_argument("--churn", action="store_true",
+                        help="replay the workload's default churn script")
+    parser.add_argument("--churn-script", type=str, default=None, metavar="FILE",
+                        help="replay a churn script from FILE instead of the default")
+    parser.add_argument("--join-window", type=float, default=None,
+                        help="joins are staggered over this many seconds "
+                             "(default: scales with --nodes)")
+    parser.add_argument("--settle", type=float, default=None,
+                        help="grace period after churn before measuring "
+                             "(default: scales with --nodes)")
+    parser.add_argument("--duration", choices=("full", "short"), default="full",
+                        help="'short' shrinks windows and op counts for CI smoke")
+    parser.add_argument("--min-success", type=float,
+                        default=spec.default_min_success,
+                        help="exit non-zero below this measured success rate")
+    parser.add_argument("--kernel", choices=("wheel", "heap"), default="wheel",
+                        help="event-queue implementation (results are identical)")
+    parser.add_argument("--cdf", type=str, default=None, metavar="PATH",
+                        help="write the measured latency CDF as "
+                             "(latency_ms, fraction) CSV to PATH")
+
+
+def _run_scenario_cli(spec: registry.ScenarioSpec, args: argparse.Namespace) -> int:
+    script = None
+    if args.churn_script:
+        try:
+            with open(args.churn_script, "r", encoding="utf-8") as handle:
+                script = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read churn script: {exc}", file=sys.stderr)
+            return 2
+        try:
+            parse_churn_script(script)
+        except ValueError as exc:
+            print(f"error: invalid churn script {args.churn_script}: {exc}",
+                  file=sys.stderr)
+            return 2
+    kwargs = dict(nodes=args.nodes, hosts=args.hosts, seed=args.seed,
+                  churn=args.churn, churn_script=script,
+                  join_window=args.join_window, settle=args.settle,
+                  kernel=args.kernel, duration=args.duration)
+    kwargs.update(spec.make_kwargs(args))
+    report = spec.runner(**kwargs)
+    _print_report(report, spec)
+    if args.cdf:
+        samples = report.get("cdf_samples_ms", [])
+        if samples:
+            count = harness.write_cdf(args.cdf, samples)
+            print(f"cdf: wrote {count} samples to {args.cdf}")
+        else:
+            print(f"cdf: no completed {spec.ops_label}s, nothing written to {args.cdf}")
+    ok = report["measured"]["success_rate"] >= args.min_success
+    if not ok:
+        print(f"FAIL: success rate below {100 * args.min_success:.0f}%",
+              file=sys.stderr)
+    return 0 if ok else 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    registry.load_builtin()
     parser = argparse.ArgumentParser(
         prog="python -m repro.apps.scenarios",
         description="SPLAY reproduction scenarios")
     sub = parser.add_subparsers(dest="scenario", required=True)
 
-    chord = sub.add_parser("chord", help="Chord on a transit-stub network under churn")
-    chord.add_argument("--nodes", type=int, default=50, help="Chord instances to deploy")
-    chord.add_argument("--hosts", type=int, default=None,
-                       help="physical hosts (default: nodes/2, min 8)")
-    chord.add_argument("--seed", type=int, default=0, help="root determinism seed")
-    chord.add_argument("--churn", action="store_true",
-                       help="replay the default churn script against the job")
-    chord.add_argument("--churn-script", type=str, default=None, metavar="FILE",
-                       help="replay a churn script from FILE instead of the default")
-    chord.add_argument("--lookups", type=int, default=200,
-                       help="measured lookups after the ring re-converges")
-    chord.add_argument("--bits", type=int, default=32, help="identifier width")
-    chord.add_argument("--join-window", type=float, default=None,
-                       help="joins are staggered over this many seconds "
-                            "(default: scales with --nodes)")
-    chord.add_argument("--settle", type=float, default=None,
-                       help="grace period after churn before measuring "
-                            "(default: scales with --nodes)")
-    chord.add_argument("--min-success", type=float, default=0.99,
-                       help="exit non-zero below this measured success rate")
-    chord.add_argument("--kernel", choices=("wheel", "heap"), default="wheel",
-                       help="event-queue implementation (results are identical)")
+    for spec in registry.all_specs():
+        scenario_parser = sub.add_parser(spec.name, help=spec.help)
+        _add_common_arguments(scenario_parser, spec)
+        spec.add_arguments(scenario_parser)
 
     bench = sub.add_parser(
-        "bench", help="sweep nodes x churn-rate grids over both kernels and "
-                      "emit CSV + JSON perf numbers")
+        "bench", help="sweep nodes x churn-rate (x hosts) grids over both "
+                      "kernels and emit CSV + JSON perf numbers")
+    bench.add_argument("--workload", choices=registry.scenario_names(),
+                       default="chord", help="registered workload to sweep")
     bench.add_argument("--nodes", type=int, nargs="+", default=[50, 100, 200],
-                       help="ring sizes to sweep")
+                       help="deployment sizes to sweep")
+    bench.add_argument("--hosts-list", type=int, nargs="+", default=None,
+                       metavar="HOSTS",
+                       help="host counts to sweep (default: the workload's "
+                            "nodes/2 heuristic only)")
     bench.add_argument("--churn-rates", type=float, nargs="+", default=[0.0, 0.05],
                        help="fraction of live nodes replaced every 30s "
                             "(0 disables churn)")
@@ -544,7 +421,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                        default=["wheel", "heap"], help="kernels to compare")
     bench.add_argument("--seed", type=int, default=0, help="root determinism seed")
     bench.add_argument("--lookups", type=int, default=100,
-                       help="measured lookups per scenario run")
+                       help="measured operations per scenario run")
     bench.add_argument("--micro-duration", type=float, default=60.0,
                        help="virtual seconds of the kernel timer-churn microbench")
     bench.add_argument("--csv", type=str, default="bench_kernel.csv",
@@ -563,7 +440,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         summary = run_bench(nodes_list=args.nodes, churn_rates=args.churn_rates,
                             kernels=list(dict.fromkeys(args.kernels)), seed=args.seed,
                             lookups=args.lookups, micro_duration=args.micro_duration,
-                            quiet=args.quiet)
+                            quiet=args.quiet, workload=args.workload,
+                            hosts_list=args.hosts_list)
         write_bench_csv(args.csv, summary["rows"])
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
@@ -593,33 +471,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if failures:
                 status = status or 4
         return status
-    if args.scenario == "chord":
-        script = None
-        if args.churn_script:
-            try:
-                with open(args.churn_script, "r", encoding="utf-8") as handle:
-                    script = handle.read()
-            except OSError as exc:
-                print(f"error: cannot read churn script: {exc}", file=sys.stderr)
-                return 2
-            try:
-                parse_churn_script(script)
-            except ValueError as exc:
-                print(f"error: invalid churn script {args.churn_script}: {exc}",
-                      file=sys.stderr)
-                return 2
-        report = run_chord_scenario(
-            nodes=args.nodes, hosts=args.hosts, seed=args.seed,
-            churn=args.churn, churn_script=script, lookups=args.lookups,
-            bits=args.bits, join_window=args.join_window, settle=args.settle,
-            kernel=args.kernel)
-        _print_report(report)
-        ok = report["measured"]["success_rate"] >= args.min_success
-        if not ok:
-            print(f"FAIL: success rate below {100 * args.min_success:.0f}%",
-                  file=sys.stderr)
-        return 0 if ok else 2
-    return 1
+    return _run_scenario_cli(registry.get_spec(args.scenario), args)
 
 
 if __name__ == "__main__":

@@ -67,6 +67,18 @@ def hash_key(data: Bytes, bits: int = 160) -> int:
     return value >> (160 - bits)
 
 
+def numeric_distance(a: int, b: int, bits: int) -> int:
+    """Shortest distance between two identifiers on a ``2**bits`` ring.
+
+    Unlike :func:`ring_distance` this is direction-free — it is the metric
+    Pastry uses for leaf-set membership and final-hop ownership (the node
+    *numerically closest* to the key owns it).
+    """
+    modulus = 1 << bits
+    forward = (b - a) % modulus
+    return min(forward, modulus - forward)
+
+
 def shared_prefix_length(a: int, b: int, digits: int, base_bits: int) -> int:
     """Length of the common prefix of two identifiers written in base ``2**base_bits``.
 

@@ -24,6 +24,8 @@ def test_run_bench_produces_rows_for_every_grid_cell(tmp_path):
     digests = {r["report_digest"] for r in scenario_rows}
     assert len(digests) == 1
     for row in scenario_rows:
+        assert row["workload"] == "chord"  # the active workload is recorded
+        assert row["hosts"] == 8
         assert row["events_executed"] > 0
         assert row["events_per_sec"] > 0
         assert 0.0 <= row["success_rate"] <= 1.0
@@ -38,6 +40,18 @@ def test_run_bench_produces_rows_for_every_grid_cell(tmp_path):
 
     json_blob = json.dumps(summary, sort_keys=True)  # must be serialisable
     assert "rows" in json.loads(json_blob)
+
+
+def test_run_bench_sweeps_host_counts_and_other_workloads():
+    summary = run_bench(nodes_list=[10], churn_rates=[0.0], kernels=["wheel"],
+                        seed=3, lookups=5, micro_duration=1.0, quiet=True,
+                        workload="pastry", hosts_list=[4, 8])
+    scenario_rows = [r for r in summary["rows"] if r["row_type"] == "scenario"]
+    assert len(scenario_rows) == 2  # one per host count
+    assert {r["hosts"] for r in scenario_rows} == {4, 8}
+    assert all(r["workload"] == "pastry" for r in scenario_rows)
+    assert summary["config"]["workload"] == "pastry"
+    assert summary["config"]["hosts"] == [4, 8]
 
 
 def test_kernel_timer_churn_is_deterministic_per_kernel():

@@ -1,0 +1,100 @@
+"""The scenario registry and the shared harness plumbing."""
+
+import argparse
+
+import pytest
+
+from repro.apps import harness, registry
+
+
+def test_builtin_workloads_are_registered():
+    names = registry.scenario_names()
+    for expected in ("chord", "pastry", "gossip", "dissemination"):
+        assert expected in names
+
+
+def test_specs_carry_runner_churn_script_and_cli_hooks():
+    for spec in registry.all_specs():
+        assert callable(spec.runner)
+        assert spec.default_churn_script.strip()
+        parser = argparse.ArgumentParser()
+        spec.add_arguments(parser)  # must not blow up
+        assert 0.0 < spec.default_min_success <= 1.0
+        assert callable(spec.bench_metrics)
+
+
+def test_duplicate_registration_is_rejected_but_reregistering_is_idempotent():
+    spec = registry.get_spec("chord")
+    assert registry.register(spec) is spec  # same object: fine
+    clone = registry.ScenarioSpec(
+        name="chord", help="impostor", runner=lambda **_: {},
+        default_churn_script="at 1s crash 1\n")
+    with pytest.raises(ValueError):
+        registry.register(clone)
+
+
+def test_unknown_scenario_raises_a_helpful_error():
+    with pytest.raises(registry.UnknownScenarioError) as excinfo:
+        registry.get_spec("kademlia")
+    assert "chord" in str(excinfo.value)
+
+
+# ------------------------------------------------------------------- harness
+def test_host_ips_keep_the_historical_layout_in_the_first_block():
+    ips = harness.host_ips(3)
+    assert ips == ["10.0.0.1", "10.0.1.1", "10.0.2.1"]
+    assert harness.host_ips(257)[256] == "10.1.0.1"
+
+
+def test_host_ips_roll_over_into_additional_blocks_beyond_65536():
+    ips = harness.host_ips(65538)
+    assert ips[65535] == "10.255.255.1"
+    assert ips[65536] == "11.0.0.1"
+    assert ips[65537] == "11.0.1.1"
+    assert len(set(ips)) == len(ips)  # no silent reuse
+
+
+def test_host_ips_raise_a_clear_error_above_the_plan_limit():
+    with pytest.raises(ValueError) as excinfo:
+        harness.host_ips(harness.MAX_HOSTS + 1)
+    assert "at most" in str(excinfo.value)
+
+
+def test_write_cdf_emits_latency_fraction_pairs(tmp_path):
+    path = tmp_path / "cdf.csv"
+    count = harness.write_cdf(str(path), [30.0, 10.0, 20.0, 40.0])
+    assert count == 4
+    lines = path.read_text().strip().splitlines()
+    assert lines[0] == "latency_ms,fraction"
+    assert lines[1] == "10.0,0.25"
+    assert lines[-1] == "40.0,1.0"
+
+
+def test_scaled_windows_short_preset_shrinks_both_windows():
+    full_join, full_settle = harness.scaled_windows(100, None, None, "full")
+    short_join, short_settle = harness.scaled_windows(100, None, None, "short")
+    assert short_join < full_join and short_settle < full_settle
+    # Explicit values always win over the preset.
+    assert harness.scaled_windows(100, 7.0, 9.0, "short") == (7.0, 9.0)
+    with pytest.raises(ValueError):
+        harness.scaled_windows(10, None, None, "weekend")
+    assert harness.scaled_ops(100, "short") < 100
+    assert harness.scaled_ops(100, "full") == 100
+
+
+def test_summarise_counts_completed_and_correct_separately():
+    results = [
+        harness.OpResult(key=1, started_at=0.0, latency=0.5, hops=3,
+                         completed=True, correct=True),
+        harness.OpResult(key=2, started_at=0.0, latency=1.5, hops=5,
+                         completed=True, correct=False),
+        harness.OpResult(key=3, started_at=0.0, latency=0.0, hops=0,
+                         completed=False, correct=False),
+    ]
+    summary = harness.summarise(results)
+    assert summary["issued"] == 3
+    assert summary["completed"] == 2
+    assert summary["correct"] == 1
+    assert summary["success_rate"] == pytest.approx(1 / 3)
+    assert summary["latency_max_ms"] == pytest.approx(1500.0)
+    assert summary["hops_max"] == 5

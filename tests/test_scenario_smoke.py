@@ -1,8 +1,10 @@
-"""End-to-end smoke: the flagship scenario meets its acceptance bar."""
+"""End-to-end smoke: every registered scenario meets its acceptance bar."""
 
 import pytest
 
-from repro.apps.scenarios import run_chord_scenario
+from repro.apps.gossip import run_gossip_scenario
+from repro.apps.pastry import run_pastry_scenario
+from repro.apps.scenarios import main, run_chord_scenario
 
 
 @pytest.mark.slow
@@ -28,3 +30,51 @@ def test_chord_scenario_without_churn_is_perfect_and_deterministic():
                                 join_window=20.0, settle=40.0)
     assert first["measured"]["success_rate"] == 1.0
     assert first == second
+
+
+@pytest.mark.slow
+def test_pastry_scenario_under_churn_meets_the_bar():
+    report = run_pastry_scenario(nodes=20, hosts=10, seed=0, churn=True, lookups=60)
+    measured = report["measured"]
+    assert measured["issued"] == 60
+    assert measured["success_rate"] >= 0.95
+    assert report["churn"] is not None and report["churn"]["actions_applied"] > 0
+    # Pastry's promise: O(log_{2^b} N) routing (plus the claim confirmation).
+    assert measured["hops_mean"] <= 6.0
+
+
+def test_pastry_scenario_without_churn_is_perfect_and_deterministic():
+    first = run_pastry_scenario(nodes=10, hosts=5, seed=1, lookups=30,
+                                join_window=20.0, settle=40.0)
+    second = run_pastry_scenario(nodes=10, hosts=5, seed=1, lookups=30,
+                                 join_window=20.0, settle=40.0)
+    assert first["measured"]["success_rate"] == 1.0
+    assert first == second
+
+
+def test_gossip_scenario_reaches_full_coverage_and_is_deterministic():
+    first = run_gossip_scenario(nodes=12, hosts=6, seed=1, broadcasts=20,
+                                join_window=15.0, settle=30.0)
+    second = run_gossip_scenario(nodes=12, hosts=6, seed=1, broadcasts=20,
+                                 join_window=15.0, settle=30.0)
+    assert first["measured"]["success_rate"] == 1.0
+    assert first["workload"]["delivery_ratio_min"] == 1.0
+    assert first == second
+
+
+def test_scenario_cli_short_duration_smoke_writes_cdf(tmp_path):
+    # The CI smoke matrix path: every subcommand with --duration short.
+    cdf = tmp_path / "cdf.csv"
+    status = main(["gossip", "--nodes", "12", "--hosts", "6",
+                   "--duration", "short", "--cdf", str(cdf)])
+    assert status == 0
+    lines = cdf.read_text().strip().splitlines()
+    assert lines[0] == "latency_ms,fraction"
+    assert len(lines) > 1
+
+
+def test_scenario_cli_exits_nonzero_below_min_success(tmp_path, capsys):
+    status = main(["chord", "--nodes", "10", "--hosts", "5", "--duration",
+                   "short", "--min-success", "1.01"])
+    assert status == 2
+    assert "FAIL" in capsys.readouterr().err
