@@ -454,7 +454,7 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
                        join_window: Optional[float] = None,
                        settle: Optional[float] = None, spacing: float = 0.25,
                        probe_interval: float = 2.0, kernel: str = "wheel",
-                       duration: str = "full") -> dict:
+                       duration: str = "full", ctl_shards: int = 1) -> dict:
     """Run the flagship Chord-under-churn scenario and return the report dict.
 
     ``join_window`` and ``settle`` default to values scaled with the ring
@@ -474,7 +474,7 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
     deployment = harness.deploy(
         "chord", chord_factory(), nodes=nodes, hosts=hosts, seed=seed,
         kernel=kernel, churn_script=script, options={"bits": bits},
-        join_window=join_window, settle=settle)
+        join_window=join_window, settle=settle, ctl_shards=ctl_shards)
     sim, job = deployment.sim, deployment.job
 
     def _owner(job, key):

@@ -238,7 +238,8 @@ def run_dissemination_scenario(nodes: int = 50, hosts: Optional[int] = None,
                                join_window: Optional[float] = None,
                                settle: Optional[float] = None,
                                kernel: str = "wheel",
-                               duration: str = "full") -> dict:
+                               duration: str = "full",
+                               ctl_shards: int = 1) -> dict:
     """Run the chunk-swarming workload and return the report dict.
 
     Every non-seed node is one measured operation: its latency is the time
@@ -256,7 +257,7 @@ def run_dissemination_scenario(nodes: int = 50, hosts: Optional[int] = None,
         "dissemination", swarm_factory(), nodes=nodes, hosts=hosts, seed=seed,
         kernel=kernel, churn_script=script,
         options={"chunks": chunks, "chunk_size": chunk_size},
-        join_window=join_window, settle=settle)
+        join_window=join_window, settle=settle, ctl_shards=ctl_shards)
     sim, job = deployment.sim, deployment.job
 
     horizon = deployment.measure_start + max(120.0, 0.02 * chunks * nodes)

@@ -276,7 +276,7 @@ def run_gossip_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
                         view_size: int = 8,
                         join_window: Optional[float] = None,
                         settle: Optional[float] = None, kernel: str = "wheel",
-                        duration: str = "full") -> dict:
+                        duration: str = "full", ctl_shards: int = 1) -> dict:
     """Run the epidemic-broadcast workload and return the report dict.
 
     ``broadcasts`` messages are published from random live nodes once churn
@@ -296,7 +296,7 @@ def run_gossip_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
         "gossip", gossip_factory(), nodes=nodes, hosts=hosts, seed=seed,
         kernel=kernel, churn_script=script,
         options={"fanout": fanout, "view_size": view_size},
-        join_window=join_window, settle=settle)
+        join_window=join_window, settle=settle, ctl_shards=ctl_shards)
     sim, job = deployment.sim, deployment.job
 
     published: List[Tuple[str, float]] = []

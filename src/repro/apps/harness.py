@@ -1,17 +1,31 @@
 """Shared scenario harness: deploy, drive, measure, report.
 
+Paper counterpart: the deployment harness of Section 5 — the scripted
+pipeline the authors used to run every evaluation workload on the same
+ModelNet testbed under the same churn scripts.
+
 Every workload scenario (Chord, Pastry, epidemic gossip, BitTorrent-style
 dissemination) runs through the same pipeline: build a transit-stub
-substrate, register one splayd per host, submit the job through the
-controller, replay an optional churn script, drive a measured workload once
-the system has re-converged, and emit a deterministic report.  This module
-holds that pipeline so the per-workload modules only contain what is
-genuinely different — the application itself and its workload driver.
+substrate, register one splayd per host with a (possibly sharded)
+controller, submit the job, replay an optional churn script, drive a
+measured workload once the system has re-converged, and emit a
+deterministic report.  This module holds that pipeline so the per-workload
+modules only contain what is genuinely different — the application itself
+and its workload driver.
 
 Everything is keyed off one root seed: topology, placement, join staggering,
 churn victim selection and the workload all draw from deterministic
 substreams, so a given configuration always produces the same report (and
-the same ``report_digest``).
+the same ``report_digest``).  The digest excludes the kernel choice and the
+control-plane sections, so it is also identical across ``--kernel`` and
+``--ctl-shards`` settings — the scale-out knobs must never change workload
+results.
+
+Public entry points: :func:`deploy` (+ :class:`Deployment`),
+:func:`scaled_windows` / :func:`scaled_ops` (duration presets),
+:func:`lookup_stream` / :func:`drain` (drivers), and
+:func:`base_report` / :func:`summarise` / :func:`report_digest` /
+:func:`write_cdf` (reporting).
 """
 
 from __future__ import annotations
@@ -115,9 +129,21 @@ def summarise(results: List[OpResult]) -> dict:
     }
 
 
+#: report keys that describe *how* the experiment was executed rather than
+#: what the workload did — excluded from the digest so results can be
+#: asserted identical across kernels and controller shard counts
+DIGEST_EXCLUDED_KEYS = frozenset({"kernel", "ctl_shards", "control_plane"})
+
+
 def report_digest(report: dict) -> str:
-    """Seed-stable digest of a scenario report (kernel choice excluded)."""
-    data = {k: v for k, v in report.items() if k != "kernel"}
+    """Seed-stable digest of a scenario report.
+
+    Execution-mechanics keys (:data:`DIGEST_EXCLUDED_KEYS`: the kernel
+    choice, the shard count and the per-shard/collector stats) are excluded:
+    the digest asserts *workload-level* equality, which must hold whatever
+    the control plane looks like.
+    """
+    data = {k: v for k, v in report.items() if k not in DIGEST_EXCLUDED_KEYS}
     encoded = json.dumps(data, sort_keys=True, default=str).encode("utf-8")
     return hashlib.sha256(encoded).hexdigest()[:16]
 
@@ -152,6 +178,7 @@ class Deployment:
     host_count: int
     seed: int
     kernel: str
+    ctl_shards: int
     join_window: float
     settle: float
     #: end of the deployment warm-up phase (joins done + grace period)
@@ -191,13 +218,15 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
            seed: int = 0, kernel: str = "wheel", churn_script: Optional[str] = None,
            options: Optional[dict] = None, base_port: int = 20000,
            join_window: float = 60.0, settle: float = 90.0,
-           warmup_grace: float = 60.0) -> Deployment:
+           warmup_grace: float = 60.0, ctl_shards: int = 1) -> Deployment:
     """Build the substrate, register daemons, submit and start the job.
 
     The substrate is the paper's ModelNet configuration: a transit-stub
     topology with 10 Mbps access links, hosts round-robined onto stub nodes,
     one splayd per host with enough instance slots for the deployment plus
-    churn headroom.
+    churn headroom.  ``ctl_shards`` selects how many controller front-ends
+    share the job store (the paper's several-splayctl deployment); workload
+    results are identical for any value.
     """
     sim = Simulator(seed, kernel=kernel)
     host_count = hosts if hosts is not None else max(8, nodes // 2)
@@ -210,7 +239,7 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
         network.bandwidth.set_capacity(ip, topology.link_bandwidth_bps,
                                        topology.link_bandwidth_bps)
 
-    controller = Controller(sim, network, seed=seed)
+    controller = Controller(sim, network, seed=seed, shards=ctl_shards)
     slots = max(2, math.ceil(nodes / host_count) + 2)
     for ip in ips:
         controller.register_daemon(
@@ -238,6 +267,7 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
     return Deployment(sim=sim, network=network, topology=topology,
                       controller=controller, job=job, nodes=nodes,
                       host_count=host_count, seed=seed, kernel=kernel,
+                      ctl_shards=ctl_shards,
                       join_window=join_window, settle=settle,
                       warmup_end=warmup_end, churn_end=churn_end,
                       measure_start=churn_end + settle)
@@ -309,6 +339,7 @@ def base_report(scenario: str, deployment: Deployment, bits: Optional[int] = Non
         "scenario": scenario,
         "seed": deployment.seed,
         "kernel": deployment.kernel,
+        "ctl_shards": deployment.ctl_shards,
         "nodes": deployment.nodes,
         "hosts": deployment.host_count,
         "bits": bits,
@@ -326,7 +357,9 @@ def base_report(scenario: str, deployment: Deployment, bits: Optional[int] = Non
             "bytes_sent": network.stats.bytes_sent,
         },
         "rpc": rpc_totals(job),
-        "log_records_collected": len(controller.logs.get(job.job_id, [])),
+        "log_records_collected": len(controller.job_logs(job)),
+        "log_records_dropped": job.stats.log_records_dropped,
+        "control_plane": controller.control_plane_status(),
     }
     churn_manager = controller.churn_managers.get(job.job_id)
     if churn_manager is not None:

@@ -503,7 +503,7 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
                         join_window: Optional[float] = None,
                         settle: Optional[float] = None, spacing: float = 0.25,
                         probe_interval: float = 2.0, kernel: str = "wheel",
-                        duration: str = "full") -> dict:
+                        duration: str = "full", ctl_shards: int = 1) -> dict:
     """Run Pastry under (optional) churn and return the report dict."""
     from repro.apps import harness
     from repro.sim.process import Process
@@ -516,7 +516,7 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
         "pastry", pastry_factory(), nodes=nodes, hosts=hosts, seed=seed,
         kernel=kernel, churn_script=script,
         options={"bits": bits, "base_bits": base_bits},
-        join_window=join_window, settle=settle)
+        join_window=join_window, settle=settle, ctl_shards=ctl_shards)
     sim, job = deployment.sim, deployment.job
 
     def _owner(job, key):

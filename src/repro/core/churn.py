@@ -1,10 +1,16 @@
 """Churn management: the script language and its replay engine.
 
-Section 3.2 of the paper describes a dedicated language "to specify churn
-behaviors ... composed of a list of timestamped events" that can reproduce
-both synthetic churn (periodic replacement of a fraction of the nodes) and
-real traces.  "Using churn scripts allows comparison of competing algorithms
-under the very same churn scenarios."
+Paper counterpart: the churn scripts and the controller-side churn manager
+of Section 3.2 — a dedicated language "to specify churn behaviors ...
+composed of a list of timestamped events" that can reproduce both synthetic
+churn (periodic replacement of a fraction of the nodes) and real traces.
+"Using churn scripts allows comparison of competing algorithms under the
+very same churn scenarios."
+
+Public entry points: :func:`parse_churn_script` and
+:func:`synthetic_churn_script` (script language), :class:`ChurnAction`
+(one parsed directive) and :class:`ChurnManager` (replays a script against
+one job through the controller, batching each action's kills per daemon).
 
 The script language reproduced here (one directive per line, ``#`` comments):
 
@@ -142,9 +148,12 @@ class ChurnManager:
     """Replays a churn script against one job through the controller.
 
     The manager never touches application state directly: leaves and crashes
-    go through the controller's ``kill_instance`` (ultimately
-    :meth:`AppContext.kill`, exactly like a daemon tearing down a sandboxed
-    process) and joins go through ``start_instances``.
+    go through the controller's ``kill_instances`` (one batched command
+    round per affected daemon, ultimately :meth:`AppContext.kill` — exactly
+    like a daemon tearing down a sandboxed process) and joins go through
+    ``start_instances``.  The ``controller`` handle is duck-typed: the
+    facade, a single shard, or the store's failover-aware churn driver all
+    work.
     """
 
     def __init__(self, sim: "Simulator", controller, job: "Job", seed: int = 0):
@@ -186,19 +195,19 @@ class ChurnManager:
             return
         if action.kind in ("leave", "crash", "replace"):
             victims = self._pick_victims(action)
-            for instance in victims:
-                self.controller.kill_instance(
-                    instance, reason=f"churn:{action.kind}@{self.sim.now:.1f}",
+            if victims:
+                # One batched control round (grouped per daemon by the
+                # controller shard) instead of one call per victim.
+                self.controller.kill_instances(
+                    victims, reason=f"churn:{action.kind}@{self.sim.now:.1f}",
                     failed=(action.kind == "crash"))
-                if action.kind == "crash":
-                    self.stats.instances_crashed += 1
-                else:
-                    self.stats.instances_left += 1
             # Crashes and graceful leaves are distinct populations in every
             # churn study; conflating them would corrupt bench reports.
             if action.kind == "crash":
+                self.stats.instances_crashed += len(victims)
                 self.job.stats.churn_crashes += len(victims)
             else:
+                self.stats.instances_left += len(victims)
                 self.job.stats.churn_leaves += len(victims)
             if action.kind == "replace":
                 self._join(len(victims))

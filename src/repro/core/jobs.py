@@ -76,7 +76,13 @@ class Placement:
 
 @dataclass
 class JobStats:
-    """Aggregated per-job counters maintained by the controller."""
+    """Aggregated per-job counters maintained by the control plane.
+
+    All fields live on the job (the shared store's record), never on a
+    controller shard, so they survive a shard failing and another shard
+    claiming the job mid-run — including the log-drop count and the
+    per-shard attribution maps.
+    """
 
     instances_started: int = 0
     instances_stopped: int = 0
@@ -88,6 +94,12 @@ class JobStats:
     #: composition accurately
     churn_crashes: int = 0
     log_records: int = 0
+    #: records evicted from the job's bounded collector queue (drop-oldest)
+    log_records_dropped: int = 0
+    #: collected records per controller shard (accumulates across failovers)
+    logs_by_shard: Dict[str, int] = field(default_factory=dict)
+    #: every shard that ever claimed this job, in claim order
+    claimed_by: List[str] = field(default_factory=list)
 
 
 class Job:
@@ -112,11 +124,28 @@ class Job:
         self.placements: List[Placement] = []
         #: shared mutable state visible to all instances (e.g. bootstrap ref)
         self.shared: Dict[str, Any] = {}
+        self._next_instance_id = 0
 
     # ------------------------------------------------------------- bookkeeping
+    def allocate_instance_id(self) -> int:
+        """Hand out a never-reused instance id.
+
+        Ids are consumed at placement-planning time and *not* returned on a
+        failed spawn: a gap in ``placements`` is harmless, a reused id is
+        not — applications derive their overlay identity from
+        ``(job_id, instance_id)``, so a collision would put two live nodes
+        at the same overlay position.
+        """
+        value = self._next_instance_id
+        self._next_instance_id += 1
+        return value
+
     def record_start(self, instance: Any, placement: Placement) -> None:
         self.instances.append(instance)
         self.placements.append(placement)
+        # Keep the allocator ahead of manually recorded placements too.
+        self._next_instance_id = max(self._next_instance_id,
+                                     placement.instance_id + 1)
         self.stats.instances_started += 1
 
     def record_stop(self, instance: Any, failed: bool = False) -> None:

@@ -13,7 +13,10 @@ client side offers two calling conventions mirroring the paper's API:
   the calling coroutine, which resumes with the remote return value (or has
   :class:`RpcTimeout`/:class:`RpcError` raised at the yield point);
 * ``a_call`` — *asynchronous*: the future is observed via callbacks (or
-  simply ignored, fire-and-forget).
+  simply ignored, fire-and-forget);
+* ``batch_call`` — several ``(method, *args)`` invocations in one
+  request/reply round trip (the wire counterpart of the controller's
+  batched daemon commands).
 
 Both take per-call ``timeout`` and ``retries``.  Retries reuse the same call
 identifier, so a late reply to an earlier attempt still completes the call
@@ -87,7 +90,10 @@ class RpcService:
         self.default_timeout = default_timeout
         self.default_retries = default_retries
         self.stats = RpcStats()
-        self._handlers: Dict[str, Callable[..., Any]] = {"__ping__": lambda: True}
+        self._handlers: Dict[str, Callable[..., Any]] = {
+            "__ping__": lambda: True,
+            "__batch__": self._serve_batch,
+        }
         #: call_id -> (future, timeout timer)
         self._pending: Dict[int, Tuple[Future, Optional[ScheduledEvent]]] = {}
         # Call ids are per-service: uniqueness is only needed to match replies
@@ -155,6 +161,35 @@ class RpcService:
             process.done.add_done_callback(_finish)
         else:
             self._send_reply(message.src, call_id, ok=True, value=result)
+
+    def _serve_batch(self, calls: list) -> Any:
+        """Handler behind :meth:`batch_call`: run the sub-calls in order.
+
+        Runs as a coroutine so generator sub-handlers block only the batch,
+        not the simulator.  Each sub-call yields one outcome dict
+        (``{"ok": True, "value": ...}`` or ``{"ok": False, "error": ...}``);
+        a failing sub-call never aborts the rest of the batch.
+        """
+        def _run():
+            outcomes = []
+            for entry in calls:
+                method = entry.get("method", "") if isinstance(entry, dict) else ""
+                args = entry.get("args", []) if isinstance(entry, dict) else []
+                handler = self._handlers.get(method)
+                if handler is None:
+                    outcomes.append({"ok": False, "error": f"unknown method: {method}"})
+                    continue
+                try:
+                    value = handler(*args)
+                    if _is_generator(value):
+                        value = yield from value
+                except Exception as exc:  # noqa: BLE001 - shipped to the caller
+                    outcomes.append({"ok": False, "error": repr(exc)})
+                    continue
+                outcomes.append({"ok": True, "value": value})
+            return outcomes
+
+        return _run()
 
     def _send_reply(self, dst: Address, call_id: Any, ok: bool,
                     value: Any = None, error: Optional[str] = None) -> None:
@@ -224,6 +259,22 @@ class RpcService:
 
         _attempt()
         return result
+
+    def batch_call(self, dst: "Address | NodeRef | dict | str",
+                   calls: "list[tuple]", timeout: Optional[float] = None,
+                   retries: Optional[int] = None) -> Future:
+        """Issue several calls to ``dst`` as one request/reply round trip.
+
+        ``calls`` is a list of ``(method, *args)`` tuples; the future
+        resolves to a list of outcome dicts (``{"ok": True, "value": ...}``
+        or ``{"ok": False, "error": ...}``), one per sub-call, in order.
+        This is the wire-level counterpart of the controller shards'
+        per-daemon command batching: one message and one reply amortise the
+        round trip over the whole batch, so ``stats.calls_sent`` counts the
+        batch as a single call.
+        """
+        payload = [{"method": call[0], "args": list(call[1:])} for call in calls]
+        return self.a_call(dst, "__batch__", payload, timeout=timeout, retries=retries)
 
     def ping(self, dst: "Address | NodeRef | dict | str",
              timeout: Optional[float] = None) -> Future:

@@ -1,146 +1,148 @@
-"""``splayctl``: the controller.
+"""``splayctl``: the controller, as a shardable control plane.
 
-"The controller manages applications: it registers daemons, lets users
-submit jobs, selects appropriate hosts, instructs daemons to start or stop
-application instances, and collects logs and statistics."  It is also the
-component the churn manager drives: leaves and crashes become
-``kill_instance`` commands, joins become ``start_instances``.
+Paper counterpart: *splayctl*.  "The controller manages applications: it
+registers daemons, lets users submit jobs, selects appropriate hosts,
+instructs daemons to start or stop application instances, and collects logs
+and statistics" — and it is explicitly *not* one process: the paper runs
+several controller front-ends behind one shared database so the testbed
+keeps up with hundreds of daemons and heavy log traffic.
+
+This module holds the deployment-facing facade.  A :class:`Controller` owns
+one shared :class:`~repro.runtime.jobstore.JobStore` (the database) plus
+``shards`` stateless :class:`~repro.runtime.jobstore.CtlShard` front-ends;
+daemons are registered round-robin across shards, jobs are claimed by a
+shard on submission, and every command a shard issues to a daemon travels
+in a per-daemon ``batch_exec`` round.  With ``shards=1`` (the default) the
+facade behaves exactly like the historical monolithic controller, and —
+because placement randomness and log collection live on the store — the
+workload-visible behaviour is byte-identical for any shard count.
 
 The control plane itself (daemon registration, job commands) is modelled as
 instantaneous — the paper's controller uses a separate reliable channel
 whose latency is irrelevant to the measured application behaviour.  All
 *application* traffic flows through the daemons' restricted sockets on the
 simulated network.
+
+Public entry points: :class:`Controller` (``register_daemon`` /``submit`` /
+``start`` / ``start_instances`` / ``kill_instance(s)`` / ``stop`` /
+``fail_host`` / ``job_logs`` / ``job_status`` / ``control_plane_status``)
+and the re-exported :class:`ControllerError`.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.core.churn import ChurnManager
-from repro.core.jobs import Job, JobSpec, JobState, Placement
+from repro.core.jobs import Job, JobSpec
 from repro.lib.logging import LogRecord
 from repro.net.network import Network
-from repro.runtime.splayd import Instance, Splayd, SplaydError
+from repro.runtime.jobstore import (
+    ControllerError,
+    CtlShard,
+    JobStore,
+    LogCollector,
+)
+from repro.runtime.splayd import Instance, Splayd
 from repro.sim.kernel import Simulator
-from repro.sim.rng import substream
 
-
-class ControllerError(Exception):
-    """Raised on invalid job commands (unknown job, no capacity, ...)."""
+__all__ = ["Controller", "ControllerError", "CtlShard", "JobStore", "LogCollector"]
 
 
 class Controller:
-    """The central coordination point of a deployment."""
+    """The control plane of a deployment: a job store plus N controller shards.
 
-    def __init__(self, sim: Simulator, network: Network, seed: Optional[int] = None):
+    Parameters
+    ----------
+    sim / network:
+        Simulation substrate.
+    seed:
+        Root seed for placement randomness (defaults to the simulator's).
+    shards:
+        Number of stateless front-ends; daemons register round-robin across
+        them and each submitted job is claimed by one of them.
+    log_queue_depth / log_drain_interval:
+        Bounds of each per-job log collector queue (drop-oldest when full)
+        and the delay of its drain event.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, seed: Optional[int] = None,
+                 shards: int = 1, log_queue_depth: int = 4096,
+                 log_drain_interval: float = 0.25):
+        if shards < 1:
+            raise ControllerError("a controller needs at least one shard")
         self.sim = sim
         self.network = network
-        self.daemons: Dict[str, Splayd] = {}
-        self.jobs: Dict[int, Job] = {}
-        #: job_id -> collected log records (shipped by instance loggers)
-        self.logs: Dict[int, List[LogRecord]] = {}
-        self.churn_managers: Dict[int, ChurnManager] = {}
-        self._rng = substream(seed if seed is not None else sim.seed, "controller")
+        self.store = JobStore(sim, network, seed=seed,
+                              log_queue_depth=log_queue_depth,
+                              log_drain_interval=log_drain_interval)
+        self.shards: List[CtlShard] = [CtlShard(self.store, i) for i in range(shards)]
+        self._register_rr = 0
+        self._claim_rr = 0
+
+    # ------------------------------------------------------------- delegation
+    @property
+    def daemons(self) -> Dict[str, Splayd]:
+        return self.store.daemons
+
+    @property
+    def jobs(self) -> Dict[int, Job]:
+        return self.store.jobs
+
+    @property
+    def churn_managers(self) -> Dict[int, object]:
+        return self.store.churn_managers
+
+    def _next_shard(self, cursor: str) -> CtlShard:
+        """Round-robin over alive shards (skips failed ones deterministically)."""
+        alive = self.store.alive_shards()
+        if not alive:
+            raise ControllerError("no alive controller shard")
+        index = getattr(self, cursor)
+        setattr(self, cursor, index + 1)
+        return alive[index % len(alive)]
+
+    def shard_for(self, job: Job) -> CtlShard:
+        """The shard currently responsible for ``job`` (reclaims if dead)."""
+        return self.store.claimant(job)
 
     # ---------------------------------------------------------------- daemons
     def register_daemon(self, daemon: Splayd) -> None:
         """Register a daemon (normally done by the splayd at boot)."""
-        if daemon.ip in self.daemons:
-            raise ControllerError(f"daemon already registered for {daemon.ip}")
-        self.daemons[daemon.ip] = daemon
-        daemon.controller = self
+        self._next_shard("_register_rr").register_daemon(daemon, controller=self)
 
     def alive_daemons(self) -> List[Splayd]:
-        return [d for d in self.daemons.values() if d.alive]
+        return self.store.alive_daemons()
 
     # ------------------------------------------------------------------- jobs
     def submit(self, spec: JobSpec) -> Job:
-        """Accept a job for deployment; returns the pending job record."""
-        job = Job(spec, created_at=self.sim.now, job_id=len(self.jobs) + 1)
-        self.jobs[job.job_id] = job
-        self.logs.setdefault(job.job_id, [])
-        return job
+        """Accept a job for deployment; a shard claims it immediately."""
+        return self._next_shard("_claim_rr").submit(spec)
 
     def start(self, job: Job) -> List[Instance]:
-        """Deploy the job: select hosts and spawn every requested instance.
-
-        If the job's spec carries a churn script, a churn manager is created
-        and started alongside (its action times are relative to this call).
-        """
-        if job.state is not JobState.PENDING:
-            raise ControllerError(f"job #{job.job_id} is {job.state.value}, not pending")
-        job.state = JobState.RUNNING
-        instances = self.start_instances(job, job.spec.instances)
-        if len(instances) < job.spec.instances:
-            # Partial deployment is a failed deployment: tear the already
-            # placed instances down so nothing keeps running unmanaged.
-            placed = len(instances)
-            for instance in instances:
-                self.kill_instance(instance, reason="deployment failed")
-            job.state = JobState.FAILED
-            raise ControllerError(
-                f"job #{job.job_id}: only {placed}/{job.spec.instances} "
-                f"instances could be placed")
-        if job.spec.churn_script:
-            churn = ChurnManager(self.sim, self, job, seed=self.sim.seed)
-            churn.load_script(job.spec.churn_script)
-            churn.start()
-            self.churn_managers[job.job_id] = churn
-        return instances
+        return self.shard_for(job).start(job)
 
     def start_instances(self, job: Job, count: int) -> List[Instance]:
-        """Spawn ``count`` additional instances on selected hosts.
-
-        Host selection is uniform over alive daemons with spare capacity,
-        re-evaluated per instance (so a daemon filling up drops out).  Fewer
-        than ``count`` instances are returned when capacity runs out.
-        """
-        started: List[Instance] = []
-        for _ in range(count):
-            daemon = self._select_daemon(job)
-            if daemon is None:
-                break
-            instance_id = len(job.placements)
-            try:
-                instance = daemon.spawn(job, instance_id)
-            except SplaydError:
-                continue
-            placement = Placement(instance_id=instance_id, ip=daemon.ip,
-                                  port=instance.address.port)
-            job.record_start(instance, placement)
-            started.append(instance)
-        return started
-
-    def _select_daemon(self, job: Job) -> Optional[Splayd]:
-        candidates = [d for d in self.alive_daemons() if d.has_capacity()]
-        if not candidates:
-            return None
-        # Prefer emptier daemons (balanced placement) with a random tiebreak,
-        # keyed on ip so the choice is stable across runs with one seed.
-        candidates.sort(key=lambda d: (len(d.instances), d.ip))
-        emptiest = len(candidates[0].instances)
-        pool = [d for d in candidates if len(d.instances) == emptiest]
-        return self._rng.choice(pool)
+        return self.shard_for(job).start_instances(job, count)
 
     # ---------------------------------------------------------------- control
     def kill_instance(self, instance: Instance, reason: str = "controller stop",
                       failed: bool = False) -> None:
-        """Stop one instance through its daemon (used directly by churn)."""
-        instance.daemon.stop_instance(instance, reason=reason)
-        instance.job.record_stop(instance, failed=failed)
+        self.shard_for(instance.job).kill_instance(instance, reason=reason,
+                                                   failed=failed)
+
+    def kill_instances(self, instances: List[Instance],
+                       reason: str = "controller stop", failed: bool = False) -> None:
+        if not instances:
+            return
+        self.shard_for(instances[0].job).kill_instances(instances, reason=reason,
+                                                        failed=failed)
 
     def stop(self, job: Job) -> None:
-        """Stop every instance of a job and mark it stopped."""
-        if job.state in (JobState.STOPPED, JobState.FAILED):
-            return
-        for instance in list(job.instances):
-            self.kill_instance(instance, reason=f"job #{job.job_id} stopped")
-        job.state = JobState.STOPPED
+        self.shard_for(job).stop(job)
 
     def fail_host(self, ip: str) -> int:
         """Simulate a host failure (all its instances across all jobs die)."""
-        daemon = self.daemons.get(ip)
+        daemon = self.store.daemons.get(ip)
         if daemon is None:
             raise ControllerError(f"no daemon on {ip}")
         victims = [i for i in daemon.instances]
@@ -150,19 +152,30 @@ class Controller:
         return killed
 
     # ------------------------------------------------------------------- logs
-    def make_log_sink(self, job: Job) -> Callable[[LogRecord], None]:
-        """Build the remote sink daemons wire into instance loggers."""
-        records = self.logs.setdefault(job.job_id, [])
+    def make_log_sink(self, job: Job,
+                      daemon_ip: Optional[str] = None) -> Callable[[LogRecord], None]:
+        """Build the remote sink daemons wire into instance loggers.
+
+        Records route through the shard the shipping daemon is registered
+        with *at ship time* (looked up per record, so attribution follows
+        shard failover), into the job's bounded collector queue.
+        """
+        store = self.store
+        collector = store.collector(job)
+        shards_by_name = {shard.name: shard for shard in self.shards}
 
         def _collect(record: LogRecord) -> None:
-            record.job_id = job.job_id
-            records.append(record)
-            job.stats.log_records += 1
+            shard_name = store.daemon_shard.get(daemon_ip) if daemon_ip else None
+            shard = shards_by_name.get(shard_name) if shard_name else None
+            if shard is not None:
+                shard.route_log(job, record)
+            else:
+                collector.offer(record, shard=shard_name)
 
         return _collect
 
     def job_logs(self, job: Job, level: Optional[str] = None) -> List[LogRecord]:
-        records = self.logs.get(job.job_id, [])
+        records = self.store.collector(job).flush()
         if level is None:
             return list(records)
         from repro.lib.logging import LogLevel
@@ -172,7 +185,12 @@ class Controller:
 
     # ------------------------------------------------------------------ stats
     def job_status(self, job: Job) -> Dict[str, object]:
-        """Controller-side summary of one job (printed by scenarios)."""
+        """Controller-side summary of one job (printed by scenarios).
+
+        Deliberately excludes per-shard attribution: every value here is
+        identical whatever the shard count, so it can feed report digests.
+        """
+        self.store.collector(job).flush()
         sockets = [i.socket.stats for i in job.instances]
         return {
             "job_id": job.job_id,
@@ -186,9 +204,37 @@ class Controller:
             "churn_leaves": job.stats.churn_leaves,
             "churn_crashes": job.stats.churn_crashes,
             "log_records": job.stats.log_records,
+            "log_records_dropped": job.stats.log_records_dropped,
             "bytes_sent": sum(s.bytes_sent for s in sockets),
             "messages_sent": sum(s.messages_sent for s in sockets),
         }
 
+    def control_plane_status(self) -> Dict[str, object]:
+        """Shard/collector-level summary (shard-count dependent — never put
+        this inside a digest-relevant report section)."""
+        return {
+            "shards": [
+                {
+                    "name": shard.name,
+                    "alive": shard.alive,
+                    "daemons": sum(1 for name in self.store.daemon_shard.values()
+                                   if name == shard.name),
+                    "jobs_claimed": shard.stats.jobs_claimed,
+                    "jobs_reclaimed": shard.stats.jobs_reclaimed,
+                    "batches_sent": shard.stats.batches_sent,
+                    "commands_sent": shard.stats.commands_sent,
+                    "instances_started": shard.stats.instances_started,
+                    "instances_killed": shard.stats.instances_killed,
+                    "logs_routed": shard.stats.logs_routed,
+                }
+                for shard in self.shards
+            ],
+            "collectors": {
+                job_id: collector.status()
+                for job_id, collector in sorted(self.store.collectors.items())
+            },
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Controller daemons={len(self.daemons)} jobs={len(self.jobs)}>"
+        return (f"<Controller shards={len(self.shards)} "
+                f"daemons={len(self.store.daemons)} jobs={len(self.store.jobs)}>")

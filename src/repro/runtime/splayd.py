@@ -1,8 +1,9 @@
 """``splayd``: the per-host daemon.
 
-"A splayd instantiates, stops, and monitors applications on one host.  Each
-application instance runs in a sandboxed process; the local administrator
-sets resource limits that the controller can only further restrict."
+Paper counterpart: *splayd*.  "A splayd instantiates, stops, and monitors
+applications on one host.  Each application instance runs in a sandboxed
+process; the local administrator sets resource limits that the controller
+can only further restrict."
 
 In this reproduction a :class:`Splayd` owns one simulated :class:`Host` on
 the network.  Spawning an instance creates a fresh
@@ -11,6 +12,12 @@ it — restricted socket (merged policy), sandboxed filesystem (merged
 quotas), logger (wired to the controller's collector) and RPC service — and
 then hands the bundle to the job's application factory.  Killing the context
 tears everything down instantly, which is exactly what churn exploits.
+
+Public entry points: :class:`Splayd` (``spawn`` / ``stop_instance`` /
+``batch_exec`` — the controller shards' one-round-per-daemon command
+channel — plus ``fail`` / ``recover`` for host churn), the per-instance
+handle :class:`Instance`, and the administrator limits
+:class:`SplaydLimits`.
 """
 
 from __future__ import annotations
@@ -128,6 +135,8 @@ class Splayd:
         self._allocated_ports: set[int] = set()
         self.spawned_total = 0
         self.killed_total = 0
+        self.batches_received = 0
+        self.commands_executed = 0
         network.add_host(self.host)
 
     # ---------------------------------------------------------------- queries
@@ -171,7 +180,7 @@ class Splayd:
             max_open_files=_stricter(None, job.spec.fs_max_files))
         sink = None
         if self.controller is not None:
-            sink = self.controller.make_log_sink(job)
+            sink = self.controller.make_log_sink(job, self.ip)
         logger = SplayLogger(
             source=name, level=job.spec.log_level, remote_sink=sink,
             budget=LogBudget(max_bytes=_stricter(self.limits.log_max_bytes,
@@ -190,7 +199,13 @@ class Splayd:
             fs.wipe()
 
         context.add_cleanup(_reap)
-        instance.app = job.spec.app_factory(instance)
+        try:
+            instance.app = job.spec.app_factory(instance)
+        except Exception:
+            # A broken application factory must not leave a half-built
+            # instance holding a slot, port and listener on this daemon.
+            context.kill("app factory failed")
+            raise
         return instance
 
     def _allocate_port(self, base_port: int) -> int:
@@ -201,6 +216,40 @@ class Splayd:
                 raise SplaydError(f"no free port on {self.ip} at or above {base_port}")
         self._allocated_ports.add(port)
         return port
+
+    # ------------------------------------------------------------------ batch
+    def batch_exec(self, commands: List[tuple]) -> List[object]:
+        """Execute a list of controller commands in one round trip.
+
+        This is the shards' command channel: instead of one call per
+        instance, a controller shard sends one batch per daemon per control
+        action.  Commands are ``("spawn", job, instance_id)`` or
+        ``("kill", instance, reason)``, executed in order; the returned list
+        holds one outcome per command — the :class:`Instance` for a spawn,
+        ``True`` for a kill, or the exception the command raised
+        (a :class:`SplaydError` for daemon-side refusals, anything else for
+        application bugs — the shard decides what to surface).  A failing
+        command never aborts the rest of the batch, so the caller always
+        learns about every instance that *did* spawn.
+        """
+        self.batches_received += 1
+        outcomes: List[object] = []
+        for command in commands:
+            op = command[0]
+            try:
+                if op == "spawn":
+                    _, job, instance_id = command
+                    outcomes.append(self.spawn(job, instance_id))
+                elif op == "kill":
+                    _, instance, reason = command
+                    self.stop_instance(instance, reason=reason)
+                    outcomes.append(True)
+                else:
+                    raise SplaydError(f"unknown daemon command: {op!r}")
+            except Exception as exc:  # noqa: BLE001 - outcome, not control flow
+                outcomes.append(exc)
+            self.commands_executed += 1
+        return outcomes
 
     # ------------------------------------------------------------------- stop
     def stop_instance(self, instance: Instance, reason: str = "stopped") -> None:

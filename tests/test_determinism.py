@@ -55,3 +55,23 @@ def test_churn_victim_sets_are_identical_across_in_process_runs():
         return tuple(sorted(before - after)), job.stats.churn_crashes, job.stats.churn_leaves
 
     assert victims() == victims()
+
+
+def test_gossip_report_digest_is_identical_across_controller_shard_counts():
+    """Controller scale-out must be invisible to the workload: sharding the
+    control plane changes batching and log routing, never results."""
+    from repro.apps.gossip import run_gossip_scenario
+    from repro.apps.harness import report_digest
+
+    config = dict(nodes=12, hosts=8, seed=11, churn=True, broadcasts=12,
+                  duration="short")
+    single = run_gossip_scenario(ctl_shards=1, **config)
+    sharded = run_gossip_scenario(ctl_shards=4, **config)
+    assert report_digest(single) == report_digest(sharded)
+    # The workload-level sections agree in full, not just in hash.
+    for key in ("measured", "job", "churn", "network", "rpc",
+                "events_executed", "log_records_collected"):
+        assert single[key] == sharded[key], key
+    # The control plane itself did differ (that's the thing being scaled).
+    assert single["ctl_shards"] == 1 and sharded["ctl_shards"] == 4
+    assert len(sharded["control_plane"]["shards"]) == 4

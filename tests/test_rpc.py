@@ -140,3 +140,65 @@ def test_killed_context_cancels_outstanding_calls(world):
     context.kill()
     assert future.state is FutureState.CANCELLED
     assert client.pending_calls == 0
+
+
+def test_batch_call_runs_sub_calls_in_one_round_trip(world):
+    sim, network = world
+    _h1, _c1, _e1, client = _endpoint(sim, network, "10.0.0.1")
+    _h2, _c2, _e2, server = _endpoint(sim, network, "10.0.0.2")
+    server.register("add", lambda a, b: a + b)
+    server.register("upper", lambda s: s.upper())
+    future = client.batch_call("10.0.0.2:1000",
+                               [("add", 2, 3), ("upper", "ok"), ("add", 1, 1)])
+    sim.run()
+    assert future.result() == [{"ok": True, "value": 5},
+                               {"ok": True, "value": "OK"},
+                               {"ok": True, "value": 2}]
+    # One message out, one reply back — the point of batching.
+    assert client.stats.calls_sent == 1
+    assert server.stats.calls_received == 1
+    assert server.stats.replies_sent == 1
+
+
+def test_batch_call_isolates_failing_sub_calls(world):
+    sim, network = world
+    _h1, _c1, _e1, client = _endpoint(sim, network, "10.0.0.1")
+    _h2, _c2, _e2, server = _endpoint(sim, network, "10.0.0.2")
+
+    def broken():
+        raise ValueError("nope")
+
+    server.register("echo", lambda x: x)
+    server.register("broken", broken)
+    future = client.batch_call("10.0.0.2:1000",
+                               [("echo", "a"), ("broken",), ("missing",),
+                                ("echo", "b")])
+    sim.run()
+    outcomes = future.result()
+    assert outcomes[0] == {"ok": True, "value": "a"}
+    assert outcomes[1]["ok"] is False and "nope" in outcomes[1]["error"]
+    assert outcomes[2]["ok"] is False and "unknown method" in outcomes[2]["error"]
+    # A failing sub-call never aborts the rest of the batch.
+    assert outcomes[3] == {"ok": True, "value": "b"}
+
+
+def test_batch_call_supports_generator_sub_handlers(world):
+    sim, network = world
+    _h1, _c1, _e1, client = _endpoint(sim, network, "10.0.0.1")
+    _h2, _c2, _e2, server = _endpoint(sim, network, "10.0.0.2")
+
+    def slow_double(value):
+        yield 0.5  # blocks only the batch coroutine, not the simulator
+        return value * 2
+
+    server.register("slow_double", slow_double)
+    server.register("fast", lambda: "now")
+    future = client.batch_call("10.0.0.2:1000",
+                               [("slow_double", 4), ("fast",), ("slow_double", 5)],
+                               timeout=5.0)
+    sim.run()
+    assert future.result() == [{"ok": True, "value": 8},
+                               {"ok": True, "value": "now"},
+                               {"ok": True, "value": 10}]
+    # Two 0.5s coroutine waits ran sequentially inside the batch.
+    assert sim.now > 1.0

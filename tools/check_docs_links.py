@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fail if any relative markdown link in the repo's docs points nowhere.
+
+Scans the given markdown files (default: README.md and everything under
+docs/) for ``[text](target)`` links, resolves each relative target against
+the linking file's directory, and exits non-zero listing every target that
+does not exist inside the repo.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``) are skipped; a relative
+target's ``#fragment`` suffix is ignored when checking existence.
+
+Usage: ``python tools/check_docs_links.py [FILE.md ...]``
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links; deliberately simple — our docs don't nest brackets
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _default_files(root: Path) -> list[Path]:
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("**/*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check(files: list[Path], root: Path) -> list[str]:
+    failures = []
+    for source in files:
+        text = source.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (source.parent / path).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                failures.append(f"{source}: {target} escapes the repository")
+                continue
+            if not resolved.exists():
+                failures.append(f"{source}: broken link -> {target}")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(arg) for arg in argv] if argv else _default_files(root)
+    failures = check(files, root)
+    for line in failures:
+        print(f"DOCS LINK FAIL: {line}", file=sys.stderr)
+    if not failures:
+        print(f"docs links ok: {len(files)} file(s) checked")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
