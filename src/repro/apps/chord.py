@@ -454,14 +454,19 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
                        join_window: Optional[float] = None,
                        settle: Optional[float] = None, spacing: float = 0.25,
                        probe_interval: float = 2.0, kernel: str = "wheel",
-                       duration: str = "full", ctl_shards: int = 1) -> dict:
+                       duration: str = "full", ctl_shards: int = 1,
+                       testbed: str = "transit-stub",
+                       churn_trace: Optional[str] = None) -> dict:
     """Run the flagship Chord-under-churn scenario and return the report dict.
 
     ``join_window`` and ``settle`` default to values scaled with the ring
     size — big rings need proportionally longer to join and re-converge
     (``duration="short"`` is the quick CI preset).  ``kernel`` selects the
     event-queue implementation (``"wheel"`` or the baseline ``"heap"``);
-    both produce byte-identical results for one seed.
+    both produce byte-identical results for one seed.  ``testbed`` selects
+    the deployment environment preset and ``churn_trace`` replays an
+    availability trace as host-level churn (see :mod:`repro.testbeds` and
+    :mod:`repro.core.churn`).
     """
     from repro.apps import harness
     from repro.sim.process import Process
@@ -473,7 +478,8 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
         DEFAULT_CHURN_SCRIPT if churn else None)
     deployment = harness.deploy(
         "chord", chord_factory(), nodes=nodes, hosts=hosts, seed=seed,
-        kernel=kernel, churn_script=script, options={"bits": bits},
+        kernel=kernel, churn_script=script, churn_trace=churn_trace,
+        testbed=testbed, options={"bits": bits},
         join_window=join_window, settle=settle, ctl_shards=ctl_shards)
     sim, job = deployment.sim, deployment.job
 
@@ -482,7 +488,7 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
 
     # Probe lookups issued while churn is active (reported, not gating).
     probe_results: List["harness.OpResult"] = []
-    if script and deployment.churn_end > deployment.warmup_end:
+    if (script or churn_trace) and deployment.churn_end > deployment.warmup_end:
         probe_count = int((deployment.churn_end - deployment.warmup_end) / probe_interval)
         probe = Process(sim, harness.lookup_stream(
             sim, job, probe_count, probe_interval, bits,

@@ -239,7 +239,9 @@ def run_dissemination_scenario(nodes: int = 50, hosts: Optional[int] = None,
                                settle: Optional[float] = None,
                                kernel: str = "wheel",
                                duration: str = "full",
-                               ctl_shards: int = 1) -> dict:
+                               ctl_shards: int = 1,
+                               testbed: str = "transit-stub",
+                               churn_trace: Optional[str] = None) -> dict:
     """Run the chunk-swarming workload and return the report dict.
 
     Every non-seed node is one measured operation: its latency is the time
@@ -255,8 +257,8 @@ def run_dissemination_scenario(nodes: int = 50, hosts: Optional[int] = None,
         DEFAULT_CHURN_SCRIPT if churn else None)
     deployment = harness.deploy(
         "dissemination", swarm_factory(), nodes=nodes, hosts=hosts, seed=seed,
-        kernel=kernel, churn_script=script,
-        options={"chunks": chunks, "chunk_size": chunk_size},
+        kernel=kernel, churn_script=script, churn_trace=churn_trace,
+        testbed=testbed, options={"chunks": chunks, "chunk_size": chunk_size},
         join_window=join_window, settle=settle, ctl_shards=ctl_shards)
     sim, job = deployment.sim, deployment.job
 

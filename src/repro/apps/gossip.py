@@ -276,7 +276,9 @@ def run_gossip_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
                         view_size: int = 8,
                         join_window: Optional[float] = None,
                         settle: Optional[float] = None, kernel: str = "wheel",
-                        duration: str = "full", ctl_shards: int = 1) -> dict:
+                        duration: str = "full", ctl_shards: int = 1,
+                        testbed: str = "transit-stub",
+                        churn_trace: Optional[str] = None) -> dict:
     """Run the epidemic-broadcast workload and return the report dict.
 
     ``broadcasts`` messages are published from random live nodes once churn
@@ -294,8 +296,8 @@ def run_gossip_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
         DEFAULT_CHURN_SCRIPT if churn else None)
     deployment = harness.deploy(
         "gossip", gossip_factory(), nodes=nodes, hosts=hosts, seed=seed,
-        kernel=kernel, churn_script=script,
-        options={"fanout": fanout, "view_size": view_size},
+        kernel=kernel, churn_script=script, churn_trace=churn_trace,
+        testbed=testbed, options={"fanout": fanout, "view_size": view_size},
         join_window=join_window, settle=settle, ctl_shards=ctl_shards)
     sim, job = deployment.sim, deployment.job
 

@@ -5,13 +5,14 @@ pipeline the authors used to run every evaluation workload on the same
 ModelNet testbed under the same churn scripts.
 
 Every workload scenario (Chord, Pastry, epidemic gossip, BitTorrent-style
-dissemination) runs through the same pipeline: build a transit-stub
-substrate, register one splayd per host with a (possibly sharded)
-controller, submit the job, replay an optional churn script, drive a
-measured workload once the system has re-converged, and emit a
-deterministic report.  This module holds that pipeline so the per-workload
-modules only contain what is genuinely different — the application itself
-and its workload driver.
+dissemination) runs through the same pipeline: build the substrate of the
+selected *testbed* (:mod:`repro.testbeds` — transit-stub by default, or
+cluster / planetlab / mixed), register one splayd per host with a (possibly
+sharded) controller, submit the job, replay an optional churn script and/or
+availability trace, drive a measured workload once the system has
+re-converged, and emit a deterministic report.  This module holds that
+pipeline so the per-workload modules only contain what is genuinely
+different — the application itself and its workload driver.
 
 Everything is keyed off one root seed: topology, placement, join staggering,
 churn victim selection and the workload all draw from deterministic
@@ -37,15 +38,13 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional
 
-from repro.core.churn import parse_churn_script
 from repro.core.jobs import Job, JobSpec
-from repro.net.latency import TopologyLatency
 from repro.net.network import Network
-from repro.net.topology import TransitStubTopology
 from repro.runtime.controller import Controller
 from repro.runtime.splayd import Splayd, SplaydLimits
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
+from repro.testbeds import get_testbed
 
 #: the flagship churn timeline shared by the Chord/Pastry/gossip scenarios:
 #: a crash burst, a continuous-replacement window, then a join wave — times
@@ -131,8 +130,11 @@ def summarise(results: List[OpResult]) -> dict:
 
 #: report keys that describe *how* the experiment was executed rather than
 #: what the workload did — excluded from the digest so results can be
-#: asserted identical across kernels and controller shard counts
-DIGEST_EXCLUDED_KEYS = frozenset({"kernel", "ctl_shards", "control_plane"})
+#: asserted identical across kernels and controller shard counts, and so
+#: the default-testbed digest is unchanged from the pre-testbeds era (the
+#: environment's *effects* still show up in every digest-relevant section)
+DIGEST_EXCLUDED_KEYS = frozenset({"kernel", "ctl_shards", "control_plane",
+                                  "testbed"})
 
 
 def report_digest(report: dict) -> str:
@@ -171,7 +173,9 @@ class Deployment:
 
     sim: Simulator
     network: Network
-    topology: TransitStubTopology
+    #: the emulated topology object, when the testbed has one (``None`` for
+    #: model-only testbeds such as ``cluster`` and ``planetlab``)
+    topology: Optional[object]
     controller: Controller
     job: Job
     nodes: int
@@ -179,6 +183,11 @@ class Deployment:
     seed: int
     kernel: str
     ctl_shards: int
+    #: name of the testbed preset the substrate was built from
+    testbed: str
+    #: the report's ``topology`` entry (``topology.describe()`` on
+    #: transit-stub, the preset's own description dict otherwise)
+    testbed_description: dict
     join_window: float
     settle: float
     #: end of the deployment warm-up phase (joins done + grace period)
@@ -216,28 +225,31 @@ def scaled_ops(ops: int, duration: str) -> int:
 
 def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = None,
            seed: int = 0, kernel: str = "wheel", churn_script: Optional[str] = None,
+           churn_trace: Optional[str] = None, testbed: str = "transit-stub",
            options: Optional[dict] = None, base_port: int = 20000,
            join_window: float = 60.0, settle: float = 90.0,
            warmup_grace: float = 60.0, ctl_shards: int = 1) -> Deployment:
     """Build the substrate, register daemons, submit and start the job.
 
-    The substrate is the paper's ModelNet configuration: a transit-stub
-    topology with 10 Mbps access links, hosts round-robined onto stub nodes,
-    one splayd per host with enough instance slots for the deployment plus
-    churn headroom.  ``ctl_shards`` selects how many controller front-ends
-    share the job store (the paper's several-splayctl deployment); workload
-    results are identical for any value.
+    ``testbed`` names the environment preset (:mod:`repro.testbeds`) the
+    substrate is built from — the default ``transit-stub`` is the paper's
+    ModelNet configuration: a transit-stub topology with 10 Mbps access
+    links and hosts round-robined onto stub nodes.  Whatever the testbed,
+    one splayd per host is registered with enough instance slots for the
+    deployment plus churn headroom.  ``churn_script`` replays instance- and
+    host-level churn directives; ``churn_trace`` replays an Overnet-style
+    availability trace as host-level fail/recover churn (both may be given).
+    ``ctl_shards`` selects how many controller front-ends share the job
+    store (the paper's several-splayctl deployment); workload results are
+    identical for any value.
     """
     sim = Simulator(seed, kernel=kernel)
-    host_count = hosts if hosts is not None else max(8, nodes // 2)
+    testbed_spec = get_testbed(testbed)
+    host_count = hosts if hosts is not None else testbed_spec.default_hosts(nodes)
     ips = host_ips(host_count)
 
-    topology = TransitStubTopology(seed=seed)
-    attachment = topology.attach_hosts(ips)
-    network = Network(sim, latency=TopologyLatency(topology, attachment), seed=seed)
-    for ip in ips:
-        network.bandwidth.set_capacity(ip, topology.link_bandwidth_bps,
-                                       topology.link_bandwidth_bps)
+    built = testbed_spec.build(sim, ips, seed)
+    network = built.network
 
     controller = Controller(sim, network, seed=seed, shards=ctl_shards)
     slots = max(2, math.ceil(nodes / host_count) + 2)
@@ -253,6 +265,7 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
         log_level="INFO",
         log_max_bytes=256_000,
         churn_script=churn_script,
+        churn_trace=churn_trace,
         options={**(options or {}), "join_window": join_window},
     )
     job = controller.submit(spec)
@@ -260,14 +273,16 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
 
     warmup_end = join_window + warmup_grace
     churn_end = warmup_end
-    if churn_script:
-        actions = parse_churn_script(churn_script)
-        if actions:
-            churn_end = max(warmup_end, max(a.time for a in actions))
-    return Deployment(sim=sim, network=network, topology=topology,
+    # The churn manager the shard just built holds the combined (script +
+    # trace) action list — the single source of truth for when churn ends.
+    manager = controller.churn_managers.get(job.job_id)
+    if manager is not None and manager.actions:
+        churn_end = max(warmup_end, max(a.time for a in manager.actions))
+    return Deployment(sim=sim, network=network, topology=built.topology,
                       controller=controller, job=job, nodes=nodes,
                       host_count=host_count, seed=seed, kernel=kernel,
-                      ctl_shards=ctl_shards,
+                      ctl_shards=ctl_shards, testbed=testbed,
+                      testbed_description=built.description,
                       join_window=join_window, settle=settle,
                       warmup_end=warmup_end, churn_end=churn_end,
                       measure_start=churn_end + settle)
@@ -340,10 +355,11 @@ def base_report(scenario: str, deployment: Deployment, bits: Optional[int] = Non
         "seed": deployment.seed,
         "kernel": deployment.kernel,
         "ctl_shards": deployment.ctl_shards,
+        "testbed": deployment.testbed,
         "nodes": deployment.nodes,
         "hosts": deployment.host_count,
         "bits": bits,
-        "topology": deployment.topology.describe(),
+        "topology": deployment.testbed_description,
         "virtual_time": sim.now,
         "events_executed": sim.executed_events,
         "job": controller.job_status(job),
@@ -370,4 +386,9 @@ def base_report(scenario: str, deployment: Deployment, bits: Optional[int] = Non
             "left": stats.instances_left,
             "crashed": stats.instances_crashed,
         }
+        if stats.hosts_failed or stats.hosts_recovered:
+            # Conditional for digest stability: script-only churn reports
+            # keep their pre-testbeds shape byte for byte.
+            report["churn"]["hosts_failed"] = stats.hosts_failed
+            report["churn"]["hosts_recovered"] = stats.hosts_recovered
     return report

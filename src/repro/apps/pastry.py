@@ -503,7 +503,9 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
                         join_window: Optional[float] = None,
                         settle: Optional[float] = None, spacing: float = 0.25,
                         probe_interval: float = 2.0, kernel: str = "wheel",
-                        duration: str = "full", ctl_shards: int = 1) -> dict:
+                        duration: str = "full", ctl_shards: int = 1,
+                        testbed: str = "transit-stub",
+                        churn_trace: Optional[str] = None) -> dict:
     """Run Pastry under (optional) churn and return the report dict."""
     from repro.apps import harness
     from repro.sim.process import Process
@@ -514,8 +516,8 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
         DEFAULT_CHURN_SCRIPT if churn else None)
     deployment = harness.deploy(
         "pastry", pastry_factory(), nodes=nodes, hosts=hosts, seed=seed,
-        kernel=kernel, churn_script=script,
-        options={"bits": bits, "base_bits": base_bits},
+        kernel=kernel, churn_script=script, churn_trace=churn_trace,
+        testbed=testbed, options={"bits": bits, "base_bits": base_bits},
         join_window=join_window, settle=settle, ctl_shards=ctl_shards)
     sim, job = deployment.sim, deployment.job
 
@@ -523,7 +525,7 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
         return expected_owner(job, key, bits)
 
     probe_results: List["harness.OpResult"] = []
-    if script and deployment.churn_end > deployment.warmup_end:
+    if (script or churn_trace) and deployment.churn_end > deployment.warmup_end:
         probe_count = int((deployment.churn_end - deployment.warmup_end) / probe_interval)
         probe = Process(sim, harness.lookup_stream(
             sim, job, probe_count, probe_interval, bits,

@@ -34,9 +34,13 @@ class ScenarioSpec:
     """Everything the CLI/bench needs to run one registered workload.
 
     ``runner`` accepts the common keyword arguments (``nodes``, ``hosts``,
-    ``seed``, ``churn``, ``churn_script``, ``kernel``, ``duration``,
-    ``join_window``, ``settle``) plus whatever ``add_arguments`` declares
-    (mapped through ``make_kwargs``), and returns the report dict.
+    ``seed``, ``churn``, ``churn_script``, ``churn_trace``, ``testbed``,
+    ``kernel``, ``duration``, ``join_window``, ``settle``, ``ctl_shards``)
+    plus whatever ``add_arguments`` declares (mapped through
+    ``make_kwargs``), and returns the report dict.  The testbed and churn
+    plumbing comes from the harness, so a registered workload runs on every
+    environment preset and under trace-driven host churn with no
+    per-workload code.
     """
 
     name: str

@@ -3,8 +3,11 @@
 Every registered workload (Chord, Pastry, epidemic gossip, BitTorrent-style
 dissemination — see :mod:`repro.apps.registry`) gets a subcommand with the
 same deployment/churn/measurement plumbing: deploy through the controller
-onto splayd daemons spread over a transit-stub (ModelNet-style) topology,
-replay a churn script against the job, then measure the workload once the
+onto splayd daemons spread over the selected testbed preset (``--testbed``:
+transit-stub by default, or cluster / planetlab / mixed — see
+:mod:`repro.testbeds`), replay a churn script (``--churn`` /
+``--churn-script``) and/or an Overnet-style availability trace
+(``--churn-trace``) against the job, then measure the workload once the
 system re-converges.  ``--cdf PATH`` dumps the measured latency
 distribution as a ``(latency_ms, fraction)`` CSV — the shape of the paper's
 Figures 7-13.
@@ -24,6 +27,7 @@ from __future__ import annotations
 import argparse
 import csv
 import json
+import math
 import sys
 import time
 from typing import List, Optional
@@ -32,8 +36,13 @@ from repro.apps import harness, registry
 # Re-exported for compatibility: the flagship runner and its churn script
 # historically lived in this module.
 from repro.apps.chord import DEFAULT_CHURN_SCRIPT, run_chord_scenario  # noqa: F401
-from repro.core.churn import parse_churn_script, synthetic_churn_script
+from repro.core.churn import (
+    parse_availability_trace,
+    parse_churn_script,
+    synthetic_churn_script,
+)
 from repro.sim.kernel import Simulator
+from repro.testbeds import testbed_names
 
 #: historical aliases (the implementations moved to ``repro.apps.harness``)
 LookupResult = harness.OpResult
@@ -51,7 +60,8 @@ def _print_report(report: dict, spec: registry.ScenarioSpec) -> None:
     bits = f", bits={report['bits']}" if report.get("bits") is not None else ""
     print(f"=== SPLAY scenario: {report['scenario']} "
           f"(seed={report['seed']}, nodes={report['nodes']}, "
-          f"hosts={report['hosts']}{bits}) ===")
+          f"hosts={report['hosts']}{bits}, "
+          f"testbed={report.get('testbed', 'transit-stub')}) ===")
     print(f"virtual time: {report['virtual_time']:.0f}s   "
           f"events: {report['events_executed']}")
     print(f"job: state={job['state']} live={job['live_instances']} "
@@ -68,9 +78,13 @@ def _print_report(report: dict, spec: registry.ScenarioSpec) -> None:
               f"logs dropped={report.get('log_records_dropped', 0)}")
     if report["churn"]:
         churn = report["churn"]
+        hosts = ""
+        if churn.get("hosts_failed") or churn.get("hosts_recovered"):
+            hosts = (f", {churn.get('hosts_failed', 0)} hosts failed / "
+                     f"{churn.get('hosts_recovered', 0)} recovered")
         print(f"churn: {churn['actions_applied']} actions, "
               f"{churn['crashed']} crashed, {churn['left']} left, "
-              f"{churn['joined']} joined")
+              f"{churn['joined']} joined{hosts}")
     if report["under_churn"]:
         under = report["under_churn"]
         print(f"{label}s under churn: {under['correct']}/{under['issued']} correct "
@@ -102,10 +116,10 @@ def _print_report(report: dict, spec: registry.ScenarioSpec) -> None:
 # --------------------------------------------------------------------- bench
 #: CSV columns emitted by ``scenarios bench`` (one row per grid cell+kernel)
 BENCH_CSV_COLUMNS = [
-    "row_type", "workload", "kernel", "nodes", "hosts", "churn_rate",
-    "ctl_shards", "seed",
+    "row_type", "workload", "testbed", "kernel", "nodes", "hosts", "churn_rate",
+    "ctl_shards", "seed", "seeds",
     "wall_sec", "virtual_time", "events_executed", "events_per_sec",
-    "wall_per_virtual_sec",
+    "events_per_sec_ci95", "wall_per_virtual_sec",
     "lookups_issued", "lookups_correct", "success_rate",
     "latency_p50_ms", "latency_p95_ms", "hops_mean",
     "rpc_calls_sent", "rpc_retries", "rpc_timeouts",
@@ -113,6 +127,58 @@ BENCH_CSV_COLUMNS = [
     "churn_joins", "churn_leaves", "churn_crashes",
     "report_digest",
 ]
+
+#: two-sided 95 % Student-t critical values by degrees of freedom (n - 1);
+#: beyond 30 the normal approximation is close enough
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+        7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+        13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+        19: 2.093, 20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064,
+        25: 2.060, 26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042}
+
+
+def mean_ci95(values: List[float]) -> tuple:
+    """Sample mean and the half-width of its 95 % confidence interval."""
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    t = _T95.get(n - 1, 1.96)
+    return mean, t * math.sqrt(variance / n)
+
+
+#: numeric bench columns averaged over a multi-seed sweep (name -> digits)
+_SEED_MEAN_COLUMNS = {
+    "wall_sec": 4, "virtual_time": 3, "events_per_sec": 1,
+    "wall_per_virtual_sec": 6, "success_rate": 6,
+    "latency_p50_ms": 3, "latency_p95_ms": 3, "hops_mean": 4,
+}
+
+
+def _aggregate_seed_rows(per_seed: List[dict]) -> dict:
+    """Fold one cell's per-seed rows into one row of means.
+
+    The emitted ``events_per_sec`` is the across-seed mean (what ``--check``
+    gates on) with its 95 % CI half-width in ``events_per_sec_ci95``; other
+    latency/quality columns are seed means too.  Count-like columns (and the
+    ``report_digest``) are kept from the first seed — digests are per-seed
+    values and have no meaningful aggregate.
+    """
+    row = dict(per_seed[0])
+    row["seeds"] = len(per_seed)
+    row["events_per_sec_ci95"] = 0.0
+    if len(per_seed) > 1:
+        for key, digits in _SEED_MEAN_COLUMNS.items():
+            values = [r[key] for r in per_seed
+                      if isinstance(r.get(key), (int, float))]
+            if values:
+                row[key] = round(sum(values) / len(values), digits)
+        row["events_executed"] = round(
+            sum(r["events_executed"] for r in per_seed) / len(per_seed))
+        _mean, ci = mean_ci95([r["events_per_sec"] for r in per_seed])
+        row["events_per_sec_ci95"] = round(ci, 1)
+    return row
 
 
 def _kernel_timer_churn(kernel: str, nodes: int, duration: float = 60.0,
@@ -154,12 +220,15 @@ def _kernel_timer_churn(kernel: str, nodes: int, duration: float = 60.0,
     return {
         "row_type": "kernel",
         "workload": "",
+        "testbed": "",
         "kernel": kernel,
         "nodes": nodes,
         "hosts": "",
         "churn_rate": "",
         "ctl_shards": "",
         "seed": seed,
+        "seeds": 1,
+        "events_per_sec_ci95": "",
         "wall_sec": round(wall, 4),
         "virtual_time": duration,
         "events_executed": sim.executed_events,
@@ -177,6 +246,7 @@ def _bench_scenario_row(spec: registry.ScenarioSpec, kernel: str, nodes: int,
     row = {
         "row_type": "scenario",
         "workload": spec.name,
+        "testbed": report.get("testbed", "transit-stub"),
         "kernel": kernel,
         "nodes": nodes,
         "hosts": report["hosts"],
@@ -208,7 +278,8 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
               micro_duration: float = 60.0, quiet: bool = False,
               workload: str = "chord",
               hosts_list: Optional[List[Optional[int]]] = None,
-              ctl_shards: int = 1) -> dict:
+              ctl_shards: int = 1, testbed: str = "transit-stub",
+              seeds: int = 1) -> dict:
     """Sweep the scenario grid and the kernel microbenchmark; return the summary.
 
     For every ``(nodes, hosts, churn_rate)`` cell the scenario runs once per
@@ -217,12 +288,18 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
     ``hosts_list`` adds a host-count sweep dimension (``None`` = the
     workload's default of nodes/2); ``ctl_shards`` runs every scenario cell
     with that many controller front-ends (the digest cross-check still
-    applies — shard count must never change workload results).
+    applies — shard count must never change workload results); ``testbed``
+    selects the environment preset every cell deploys on.  With
+    ``seeds > 1`` each cell runs once per root seed (``seed .. seed+N-1``)
+    and its row carries the across-seed mean ``events_per_sec`` plus a 95 %
+    CI half-width — the kernel digest cross-check then applies per seed.
     """
     def say(text: str) -> None:
         if not quiet:
             print(text, flush=True)
 
+    if seeds < 1:
+        raise ValueError("bench needs at least one seed")
     spec = registry.get_spec(workload)
     hosts_sweep: List[Optional[int]] = hosts_list if hosts_list else [None]
     rows: List[dict] = []
@@ -234,27 +311,34 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
                                                 fraction=rate) if rate > 0 else None
                 digests = {}
                 for kernel in kernels:
-                    kwargs = dict(nodes=nodes, hosts=hosts, seed=seed,
-                                  churn_script=script, kernel=kernel,
-                                  ctl_shards=ctl_shards)
-                    if spec.ops_param is not None:
-                        kwargs[spec.ops_param] = lookups
-                    start = time.perf_counter()
-                    report = spec.runner(**kwargs)
-                    wall = time.perf_counter() - start
-                    row = _bench_scenario_row(spec, kernel, nodes, rate, seed,
-                                              report, wall)
+                    per_seed: List[dict] = []
+                    for offset in range(seeds):
+                        kwargs = dict(nodes=nodes, hosts=hosts, seed=seed + offset,
+                                      churn_script=script, kernel=kernel,
+                                      ctl_shards=ctl_shards, testbed=testbed)
+                        if spec.ops_param is not None:
+                            kwargs[spec.ops_param] = lookups
+                        start = time.perf_counter()
+                        report = spec.runner(**kwargs)
+                        wall = time.perf_counter() - start
+                        per_seed.append(_bench_scenario_row(
+                            spec, kernel, nodes, rate, seed + offset, report, wall))
+                    row = _aggregate_seed_rows(per_seed)
                     rows.append(row)
-                    digests[kernel] = row["report_digest"]
-                    say(f"scenario workload={spec.name} nodes={nodes} "
-                        f"hosts={row['hosts']} churn={rate:g} kernel={kernel} "
-                        f"shards={ctl_shards}: "
-                        f"{row['events_per_sec']:.0f} ev/s, "
-                        f"success={row['success_rate']:.3f}, wall={wall:.2f}s")
+                    digests[kernel] = tuple(r["report_digest"] for r in per_seed)
+                    ci = (f" ±{row['events_per_sec_ci95']:.0f}"
+                          if seeds > 1 else "")
+                    say(f"scenario workload={spec.name} testbed={testbed} "
+                        f"nodes={nodes} hosts={row['hosts']} churn={rate:g} "
+                        f"kernel={kernel} shards={ctl_shards} seeds={seeds}: "
+                        f"{row['events_per_sec']:.0f}{ci} ev/s, "
+                        f"success={row['success_rate']:.3f}, "
+                        f"wall={row['wall_sec']:.2f}s")
                 if len(set(digests.values())) > 1:
                     mismatches.append(
-                        f"workload={spec.name} nodes={nodes} hosts={hosts} "
-                        f"churn={rate:g}: kernel reports diverge {digests}")
+                        f"workload={spec.name} testbed={testbed} nodes={nodes} "
+                        f"hosts={hosts} churn={rate:g}: kernel reports "
+                        f"diverge {digests}")
     for nodes in nodes_list:
         per_kernel = {}
         for kernel in kernels:
@@ -271,12 +355,14 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
         "bench": "kernel",
         "config": {
             "workload": workload,
+            "testbed": testbed,
             "nodes": nodes_list,
             "hosts": hosts_list,
             "churn_rates": churn_rates,
             "kernels": kernels,
             "ctl_shards": ctl_shards,
             "seed": seed,
+            "seeds": seeds,
             "lookups": lookups,
             "micro_duration": micro_duration,
         },
@@ -322,14 +408,19 @@ def check_bench_regression(summary: dict, baseline: dict,
     """Compare events/sec against a committed baseline (same grid cells only).
 
     Returns a list of human-readable failures for rows whose throughput
-    dropped more than ``tolerance`` below the baseline.
+    dropped more than ``tolerance`` below the baseline.  Multi-seed rows
+    carry the across-seed *mean* in ``events_per_sec``, so that is what the
+    gate compares (seed count is part of the cell signature: a 3-seed mean
+    is only compared against a 3-seed baseline).
     """
     def index(rows: List[dict]) -> dict:
-        # The workload signature (lookups, virtual duration) is part of the
-        # key: rows are only comparable when they ran the same experiment.
-        return {(r["row_type"], r.get("workload", ""), r["kernel"], r["nodes"],
+        # The workload signature (testbed, seeds, lookups, virtual duration)
+        # is part of the key: rows are only comparable when they ran the
+        # same experiment.
+        return {(r["row_type"], r.get("workload", ""), r.get("testbed", ""),
+                 r["kernel"], r["nodes"],
                  r.get("hosts", ""), r.get("churn_rate", ""),
-                 r.get("ctl_shards", ""),
+                 r.get("ctl_shards", ""), r.get("seeds", ""),
                  r.get("lookups_issued", ""), r.get("virtual_time", "")): r
                 for r in rows}
 
@@ -360,6 +451,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser,
                         help="replay the workload's default churn script")
     parser.add_argument("--churn-script", type=str, default=None, metavar="FILE",
                         help="replay a churn script from FILE instead of the default")
+    parser.add_argument("--churn-trace", type=str, default=None, metavar="FILE",
+                        help="replay an Overnet-style availability trace "
+                             "('host_id start end' lines) as host-level churn")
+    parser.add_argument("--testbed", choices=testbed_names(),
+                        default="transit-stub",
+                        help="deployment environment preset to build")
     parser.add_argument("--join-window", type=float, default=None,
                         help="joins are staggered over this many seconds "
                              "(default: scales with --nodes)")
@@ -396,8 +493,23 @@ def _run_scenario_cli(spec: registry.ScenarioSpec, args: argparse.Namespace) -> 
             print(f"error: invalid churn script {args.churn_script}: {exc}",
                   file=sys.stderr)
             return 2
+    trace = None
+    if args.churn_trace:
+        try:
+            with open(args.churn_trace, "r", encoding="utf-8") as handle:
+                trace = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read churn trace: {exc}", file=sys.stderr)
+            return 2
+        try:
+            parse_availability_trace(trace)
+        except ValueError as exc:
+            print(f"error: invalid churn trace {args.churn_trace}: {exc}",
+                  file=sys.stderr)
+            return 2
     kwargs = dict(nodes=args.nodes, hosts=args.hosts, seed=args.seed,
-                  churn=args.churn, churn_script=script,
+                  churn=args.churn, churn_script=script, churn_trace=trace,
+                  testbed=args.testbed,
                   join_window=args.join_window, settle=args.settle,
                   kernel=args.kernel, duration=args.duration,
                   ctl_shards=args.ctl_shards)
@@ -448,7 +560,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                        default=["wheel", "heap"], help="kernels to compare")
     bench.add_argument("--ctl-shards", type=int, default=1, metavar="N",
                        help="controller front-ends per scenario run")
+    bench.add_argument("--testbed", choices=testbed_names(),
+                       default="transit-stub",
+                       help="deployment environment preset for scenario cells")
     bench.add_argument("--seed", type=int, default=0, help="root determinism seed")
+    bench.add_argument("--seeds", type=int, default=1, metavar="N",
+                       help="seeds per scenario cell; N > 1 emits the "
+                            "across-seed mean events/sec ± 95%% CI "
+                            "(--check gates on the mean)")
     bench.add_argument("--lookups", type=int, default=100,
                        help="measured operations per scenario run")
     bench.add_argument("--micro-duration", type=float, default=60.0,
@@ -471,7 +590,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             lookups=args.lookups, micro_duration=args.micro_duration,
                             quiet=args.quiet, workload=args.workload,
                             hosts_list=args.hosts_list,
-                            ctl_shards=args.ctl_shards)
+                            ctl_shards=args.ctl_shards,
+                            testbed=args.testbed, seeds=args.seeds)
         write_bench_csv(args.csv, summary["rows"])
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)

@@ -8,9 +8,11 @@ churn (periodic replacement of a fraction of the nodes) and real traces.
 very same churn scenarios."
 
 Public entry points: :func:`parse_churn_script` and
-:func:`synthetic_churn_script` (script language), :class:`ChurnAction`
-(one parsed directive) and :class:`ChurnManager` (replays a script against
-one job through the controller, batching each action's kills per daemon).
+:func:`synthetic_churn_script` (script language), :func:`trace_churn_actions`
+/ :func:`parse_availability_trace` / :func:`synthetic_availability_trace`
+(Overnet-style availability traces), :class:`ChurnAction` (one parsed
+directive) and :class:`ChurnManager` (replays a script against one job
+through the controller, batching each action's kills per daemon).
 
 The script language reproduced here (one directive per line, ``#`` comments):
 
@@ -19,13 +21,24 @@ The script language reproduced here (one directive per line, ``#`` comments):
     at 30s  join 10          # start 10 new instances
     at 2m   leave 5          # gracefully stop 5 random instances
     at 2m   crash 10%        # abruptly kill 10% of the live instances
+    at 3m   fail 2           # host-level: kill 2 whole daemons (all instances)
+    at 4m   recover 2        # host-level: bring 2 failed daemons back up
     from 5m to 10m every 30s replace 5%   # continuous churn window
     at 12m  stop             # stop the whole job
 
 Counts may be absolute (``5``) or a percentage of the currently-live
-instances (``10%``).  All randomness (victim selection, join placement) is
-drawn from deterministic substreams so that two runs with the same seed
-observe the exact same churn.
+instances (``10%``) — for the host-level ``fail``/``recover`` directives the
+percentage is of the currently-alive (respectively failed) hosts.  All
+randomness (victim selection, join placement) is drawn from deterministic
+substreams so that two runs with the same seed observe the exact same churn.
+
+Real traces enter through the same machinery: the paper's churn language
+can "reproduce the behavior of real systems by replaying availability
+traces (e.g., from Overnet)".  :func:`trace_churn_actions` converts an
+availability trace (``host_id start end`` lines, one line per uptime
+interval) into host-level fail/recover :class:`ChurnAction` lists targeting
+*specific* hosts, and :func:`synthetic_availability_trace` generates a
+deterministic trace in the same format for tests and CI.
 """
 
 from __future__ import annotations
@@ -41,17 +54,26 @@ if TYPE_CHECKING:  # pragma: no cover - runtime objects are duck-typed here
     from repro.sim.kernel import Simulator
 
 #: directives understood by the parser/replayer
-_KINDS = ("join", "leave", "crash", "replace", "stop")
+_KINDS = ("join", "leave", "crash", "replace", "stop", "fail", "recover")
+#: directives acting on whole hosts (daemons) instead of instances
+_HOST_KINDS = ("fail", "recover")
 
 
 @dataclass(frozen=True)
 class ChurnAction:
-    """One timestamped churn directive (times are relative to churn start)."""
+    """One timestamped churn directive (times are relative to churn start).
+
+    ``host`` is set on trace-derived host-level actions only: it names the
+    trace's host id, which the replayer maps onto a concrete daemon.
+    Script-driven ``fail``/``recover`` directives leave it ``None`` and pick
+    random hosts instead.
+    """
 
     time: float
     kind: str
     count: int = 0
     fraction: Optional[float] = None
+    host: Optional[str] = None
 
     def resolve_count(self, live: int) -> int:
         """Number of instances affected, given ``live`` running instances."""
@@ -104,7 +126,7 @@ def parse_churn_script(text: str) -> List[ChurnAction]:
                 end = parse_duration(tokens[3])
                 step = parse_duration(tokens[5])
                 kind = tokens[6]
-                if kind not in ("join", "leave", "crash", "replace"):
+                if kind not in ("join", "leave", "crash", "replace", "fail", "recover"):
                     raise ChurnScriptError(f"unknown directive in window: {kind}")
                 count, fraction = _parse_amount(tokens[7])
                 if step <= 0 or end < start:
@@ -133,6 +155,111 @@ def synthetic_churn_script(duration: float, period: float = 30.0,
             f"replace {pct:g}%\n")
 
 
+# ------------------------------------------------------------ availability traces
+def parse_availability_trace(text: str) -> Dict[str, List[tuple]]:
+    """Parse an Overnet-style availability trace into per-host uptime intervals.
+
+    Each non-comment line is ``host_id start end``: host ``host_id`` was up
+    from ``start`` to ``end`` (seconds, relative to trace start).  Returns
+    ``{host_id: [(start, end), ...]}`` with each host's intervals sorted and
+    overlapping/adjacent ones merged.  Hosts appear in first-seen order so
+    downstream processing is deterministic.
+    """
+    raw: Dict[str, List[tuple]] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        body = line.split("#", 1)[0].strip()
+        if not body:
+            continue
+        tokens = body.split()
+        if len(tokens) != 3:
+            raise ChurnScriptError(
+                f"trace line {line_no}: expected 'host_id start end', got {line!r}")
+        host = tokens[0]
+        try:
+            start, end = float(tokens[1]), float(tokens[2])
+        except ValueError as exc:
+            raise ChurnScriptError(
+                f"trace line {line_no}: cannot parse {line!r}: {exc}") from exc
+        if start < 0 or end < start:
+            raise ChurnScriptError(
+                f"trace line {line_no}: interval must satisfy 0 <= start <= end")
+        raw.setdefault(host, []).append((start, end))
+    merged: Dict[str, List[tuple]] = {}
+    for host, intervals in raw.items():
+        intervals.sort()
+        spans: List[tuple] = []
+        for start, end in intervals:
+            if spans and start <= spans[-1][1]:
+                spans[-1] = (spans[-1][0], max(spans[-1][1], end))
+            else:
+                spans.append((start, end))
+        merged[host] = spans
+    return merged
+
+
+def trace_churn_actions(text: str, horizon: Optional[float] = None) -> List[ChurnAction]:
+    """Convert an availability trace into host-level ``fail``/``recover`` actions.
+
+    Every host starts the deployment up (that is what deploying means), so
+    a host whose first uptime interval starts after 0 *fails at time 0* and
+    recovers when the interval opens; each gap between intervals becomes a
+    ``fail`` at the gap's start and a ``recover`` at its end.  A host whose
+    availability ends before the trace ``horizon`` (default: the latest
+    interval end across all hosts) fails then and stays down — hosts still
+    up at the horizon simply keep running.
+    """
+    intervals = parse_availability_trace(text)
+    if not intervals:
+        return []
+    if horizon is None:
+        horizon = max(end for spans in intervals.values() for _start, end in spans)
+    actions: List[ChurnAction] = []
+
+    def _emit(time: float, kind: str, host: str) -> None:
+        if time <= horizon + 1e-9:
+            actions.append(ChurnAction(time=time, kind=kind, host=host))
+
+    for host, spans in intervals.items():
+        first_start = spans[0][0]
+        if first_start > 0:
+            _emit(0.0, "fail", host)
+            _emit(first_start, "recover", host)
+        for (_s1, end1), (start2, _e2) in zip(spans, spans[1:]):
+            _emit(end1, "fail", host)
+            _emit(start2, "recover", host)
+        last_end = spans[-1][1]
+        if last_end < horizon - 1e-9:
+            _emit(last_end, "fail", host)
+    actions.sort(key=lambda a: a.time)
+    return actions
+
+
+def synthetic_availability_trace(hosts: int = 6, duration: float = 300.0,
+                                 seed: int = 0, mean_up: float = 150.0,
+                                 mean_down: float = 40.0) -> str:
+    """Generate a deterministic Overnet-shaped availability trace.
+
+    Each host alternates exponentially distributed up/down periods (every
+    host starts up at time 0 — a deployment places instances on live
+    hosts).  The same ``(hosts, duration, seed, mean_up, mean_down)``
+    always produces the same trace text, so tests and CI can regenerate the
+    bundled trace instead of trusting a checked-in artifact blindly.
+    """
+    if hosts < 1 or duration <= 0 or mean_up <= 0 or mean_down <= 0:
+        raise ValueError("trace parameters must be positive")
+    lines = [f"# synthetic availability trace: {hosts} hosts over {duration:g}s "
+             f"(seed={seed}, mean up {mean_up:g}s, mean down {mean_down:g}s)",
+             "# host_id start end"]
+    for index in range(hosts):
+        rng = substream(seed, "availability-trace", index)
+        now = 0.0
+        while now < duration:
+            up_end = min(duration, now + rng.expovariate(1.0 / mean_up))
+            lines.append(f"h{index} {now:.1f} {up_end:.1f}")
+            now = up_end + rng.expovariate(1.0 / mean_down)
+    return "\n".join(lines) + "\n"
+
+
 @dataclass
 class ChurnStats:
     """Counters exposed by the churn manager (and printed by scenarios)."""
@@ -141,6 +268,12 @@ class ChurnStats:
     instances_joined: int = 0
     instances_left: int = 0
     instances_crashed: int = 0
+    #: whole-daemon failures/recoveries — a distinct population from the
+    #: instance-level counters above (a host failure takes every co-located
+    #: instance down at once and survives as a dead *daemon*, not a gap in
+    #: one overlay)
+    hosts_failed: int = 0
+    hosts_recovered: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
 
 
@@ -161,6 +294,12 @@ class ChurnManager:
         self.controller = controller
         self.job = job
         self.rng = substream(seed, "churn", job.job_id)
+        # Host-level randomness (victim hosts, trace-host mapping) draws from
+        # its own substream so adding host churn to a script never perturbs
+        # the instance-level victim sequence of the same seed.
+        self._host_rng = substream(seed, "churn-hosts", job.job_id)
+        #: trace host id -> daemon ip, assigned deterministically on first use
+        self._trace_hosts: Dict[str, str] = {}
         self.actions: List[ChurnAction] = []
         self.stats = ChurnStats()
         self._started = False
@@ -193,6 +332,9 @@ class ChurnManager:
         if action.kind == "stop":
             self.controller.stop(self.job)
             return
+        if action.kind in _HOST_KINDS:
+            self._apply_host_action(action)
+            return
         if action.kind in ("leave", "crash", "replace"):
             victims = self._pick_victims(action)
             if victims:
@@ -213,6 +355,61 @@ class ChurnManager:
                 self._join(len(victims))
         elif action.kind == "join":
             self._join(action.resolve_count(self.job.live_count))
+
+    # ------------------------------------------------------------ host churn
+    def _apply_host_action(self, action: ChurnAction) -> None:
+        """Fail or recover whole daemons (trace-targeted or randomly picked).
+
+        Counters are split from the instance-level ones: a host failure is a
+        different event population from an instance crash (it takes every
+        co-located instance of every job down at once), and churn studies
+        report them separately.  The per-job counts live on ``job.stats``
+        like every other churn counter, so they survive controller-shard
+        failover.
+        """
+        if action.host is not None:
+            ips = [self._trace_host_ip(action.host)]
+        else:
+            if action.kind == "fail":
+                pool = sorted(self.controller.alive_host_ips())
+            else:
+                pool = sorted(self.controller.failed_host_ips())
+            count = min(action.resolve_count(len(pool)), len(pool))
+            ips = self._host_rng.sample(pool, count) if count > 0 else []
+        for ip in ips:
+            alive = self.controller.host_alive(ip)
+            if action.kind == "fail":
+                if not alive:
+                    continue  # trace says fail, but the host is already down
+                self.controller.fail_host(ip)
+                self.stats.hosts_failed += 1
+                self.job.stats.churn_host_failures += 1
+            else:
+                if alive:
+                    continue
+                self.controller.recover_host(ip)
+                self.stats.hosts_recovered += 1
+                self.job.stats.churn_host_recoveries += 1
+
+    def _trace_host_ip(self, trace_host: str) -> str:
+        """Deterministically bind a trace host id to a deployment daemon.
+
+        Each new trace host takes a random not-yet-bound daemon (drawn from
+        the host substream); once every daemon is bound, further trace hosts
+        wrap around in first-seen order, which keeps arbitrary real traces
+        replayable on small deployments.
+        """
+        ip = self._trace_hosts.get(trace_host)
+        if ip is None:
+            all_ips = sorted(self.controller.daemon_ips())
+            free = [candidate for candidate in all_ips
+                    if candidate not in self._trace_hosts.values()]
+            if free:
+                ip = self._host_rng.choice(free)
+            else:
+                ip = all_ips[len(self._trace_hosts) % len(all_ips)]
+            self._trace_hosts[trace_host] = ip
+        return ip
 
     def _pick_victims(self, action: ChurnAction) -> list:
         live = self.job.live_instances()

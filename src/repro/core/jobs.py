@@ -50,6 +50,9 @@ class JobSpec:
     log_level: str = "INFO"
     log_max_bytes: Optional[int] = None
     churn_script: Optional[str] = None
+    #: Overnet-style availability trace text (``host_id start end`` lines)
+    #: replayed as host-level fail/recover churn alongside ``churn_script``
+    churn_trace: Optional[str] = None
     #: free-form per-job options, exposed to instances as ``instance.options``
     options: Dict[str, Any] = field(default_factory=dict)
 
@@ -93,6 +96,11 @@ class JobStats:
     #: abrupt "crash" victims — kept separate so benchmarks report churn
     #: composition accurately
     churn_crashes: int = 0
+    #: whole-host (daemon) failures/recoveries driven by churn — a third
+    #: population, distinct from both instance-level counters above: one
+    #: host failure kills every co-located instance at once
+    churn_host_failures: int = 0
+    churn_host_recoveries: int = 0
     log_records: int = 0
     #: records evicted from the job's bounded collector queue (drop-oldest)
     log_records_dropped: int = 0

@@ -17,6 +17,7 @@ from repro.net.latency import (
     TopologyLatency,
 )
 from repro.net.loss import LossModel
+from repro.net.hostload import HostLoadModel
 from repro.net.bandwidth import BandwidthModel, Transfer
 from repro.net.network import Listener, Network, NetworkStats
 from repro.net.topology import TransitStubTopology
@@ -26,6 +27,7 @@ __all__ = [
     "BandwidthModel",
     "CompositeLatency",
     "ConstantLatency",
+    "HostLoadModel",
     "LatencyModel",
     "Listener",
     "LossModel",

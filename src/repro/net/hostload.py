@@ -1,0 +1,81 @@
+"""Host-load / processing-delay model.
+
+Paper counterpart: Section 5.4's PlanetLab runs — "PlanetLab hosts are
+often overloaded", so a message that arrives at a busy host waits for CPU
+before the application sees it.  The model assigns each host a deterministic
+*load factor* (most hosts are lightly loaded, a tail of hosts is heavily
+loaded) and turns it into a per-message processing delay hook that the
+:class:`~repro.net.network.Network` adds on top of propagation and
+transmission time.
+
+The delay is a pure function of the host and the message size — no
+per-message randomness — so runs stay byte-identical for one seed whatever
+the message interleaving looks like.
+
+Public entry points: :class:`HostLoadModel` (``load_of`` / ``hook_for`` /
+``attach``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.rng import substream
+
+
+class HostLoadModel:
+    """Per-host load factors and the processing-delay hooks they induce.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; each host's load factor comes from its own substream.
+    base_delay:
+        Processing delay (seconds) of an *unloaded* host per message.
+    per_byte:
+        Additional per-byte processing cost of an unloaded host.
+    heavy_fraction:
+        Probability that a host is in the heavily-loaded tail.
+    heavy_multiplier:
+        Load factor scale of heavily-loaded hosts (an overloaded PlanetLab
+        node is roughly an order of magnitude slower than an idle one).
+    """
+
+    def __init__(self, seed: int = 0, base_delay: float = 0.002,
+                 per_byte: float = 2e-8, heavy_fraction: float = 0.2,
+                 heavy_multiplier: float = 8.0):
+        if base_delay < 0 or per_byte < 0:
+            raise ValueError("processing costs must be non-negative")
+        if not 0.0 <= heavy_fraction <= 1.0:
+            raise ValueError("heavy_fraction must be within [0, 1]")
+        self.seed = seed
+        self.base_delay = base_delay
+        self.per_byte = per_byte
+        self.heavy_fraction = heavy_fraction
+        self.heavy_multiplier = heavy_multiplier
+        self._loads: Dict[str, float] = {}
+
+    def load_of(self, ip: str) -> float:
+        """The host's load factor (>= 1; drawn once, then fixed)."""
+        load = self._loads.get(ip)
+        if load is None:
+            rng = substream(self.seed, "host-load", ip)
+            load = 1.0 + rng.random() * 0.5
+            if rng.random() < self.heavy_fraction:
+                load *= self.heavy_multiplier * (0.5 + rng.random())
+            self._loads[ip] = load
+        return load
+
+    def delay(self, ip: str, size: int) -> float:
+        """Processing delay one message of ``size`` bytes pays at ``ip``."""
+        return self.load_of(ip) * (self.base_delay + size * self.per_byte)
+
+    def hook_for(self, ip: str):
+        """A ``processing_delay(size) -> seconds`` hook bound to one host."""
+        self.load_of(ip)  # draw (and cache) the load factor eagerly
+        return lambda size: self.delay(ip, size)
+
+    def attach(self, network, ips) -> None:
+        """Register a processing-delay hook for every listed host."""
+        for ip in ips:
+            network.set_processing_delay(ip, self.hook_for(ip))

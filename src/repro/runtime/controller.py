@@ -25,8 +25,8 @@ simulated network.
 
 Public entry points: :class:`Controller` (``register_daemon`` /``submit`` /
 ``start`` / ``start_instances`` / ``kill_instance(s)`` / ``stop`` /
-``fail_host`` / ``job_logs`` / ``job_status`` / ``control_plane_status``)
-and the re-exported :class:`ControllerError`.
+``fail_host`` / ``recover_host`` / ``job_logs`` / ``job_status`` /
+``control_plane_status``) and the re-exported :class:`ControllerError`.
 """
 
 from __future__ import annotations
@@ -141,15 +141,28 @@ class Controller:
         self.shard_for(job).stop(job)
 
     def fail_host(self, ip: str) -> int:
-        """Simulate a host failure (all its instances across all jobs die)."""
-        daemon = self.store.daemons.get(ip)
-        if daemon is None:
-            raise ControllerError(f"no daemon on {ip}")
-        victims = [i for i in daemon.instances]
-        killed = daemon.fail()
-        for instance in victims:
-            instance.job.record_stop(instance, failed=True)
-        return killed
+        """Simulate a host failure (all its instances across all jobs die).
+
+        Routed through the daemon's registered shard so the store's
+        host-state bookkeeping and the per-shard counters stay accurate.
+        """
+        return self.store.shard_for_daemon(ip).fail_host(ip)
+
+    def recover_host(self, ip: str) -> None:
+        """Bring a failed host back as an empty daemon (placement sees it again)."""
+        self.store.shard_for_daemon(ip).recover_host(ip)
+
+    def daemon_ips(self) -> List[str]:
+        return sorted(self.store.daemons)
+
+    def alive_host_ips(self) -> List[str]:
+        return self.store.alive_host_ips()
+
+    def failed_host_ips(self) -> List[str]:
+        return self.store.failed_host_ips()
+
+    def host_alive(self, ip: str) -> bool:
+        return self.store.host_alive(ip)
 
     # ------------------------------------------------------------------- logs
     def make_log_sink(self, job: Job,
@@ -203,6 +216,13 @@ class Controller:
             "churn_joins": job.stats.churn_joins,
             "churn_leaves": job.stats.churn_leaves,
             "churn_crashes": job.stats.churn_crashes,
+            # Host-level churn counters appear only when host churn actually
+            # happened: reports (and their digests) of script-only runs stay
+            # byte-identical with the pre-testbeds era.
+            **({"churn_host_failures": job.stats.churn_host_failures,
+                "churn_host_recoveries": job.stats.churn_host_recoveries}
+               if (job.stats.churn_host_failures
+                   or job.stats.churn_host_recoveries) else {}),
             "log_records": job.stats.log_records,
             "log_records_dropped": job.stats.log_records_dropped,
             "bytes_sent": sum(s.bytes_sent for s in sockets),
@@ -221,6 +241,8 @@ class Controller:
                                    if name == shard.name),
                     "jobs_claimed": shard.stats.jobs_claimed,
                     "jobs_reclaimed": shard.stats.jobs_reclaimed,
+                    "hosts_failed": shard.stats.hosts_failed,
+                    "hosts_recovered": shard.stats.hosts_recovered,
                     "batches_sent": shard.stats.batches_sent,
                     "commands_sent": shard.stats.commands_sent,
                     "instances_started": shard.stats.instances_started,
@@ -232,6 +254,12 @@ class Controller:
             "collectors": {
                 job_id: collector.status()
                 for job_id, collector in sorted(self.store.collectors.items())
+            },
+            "hosts": {
+                "registered": len(self.store.daemons),
+                "down_now": len(self.store.failed_host_ips()),
+                "failures_total": self.store.host_failures_total,
+                "recoveries_total": self.store.host_recoveries_total,
             },
         }
 

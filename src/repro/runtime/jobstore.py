@@ -36,7 +36,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.core.churn import ChurnManager
+from repro.core.churn import ChurnManager, parse_churn_script, trace_churn_actions
 from repro.core.jobs import Job, JobSpec, JobState, Placement
 from repro.lib.logging import LogRecord
 from repro.net.network import Network
@@ -143,6 +143,11 @@ class JobStore:
         self.daemons: Dict[str, Splayd] = {}
         #: daemon ip -> name of the shard it is currently registered with
         self.daemon_shard: Dict[str, str] = {}
+        #: daemon ip -> "up"/"down" as last driven by the control plane
+        #: (hosts the control plane never touched are implicitly "up")
+        self.host_state: Dict[str, str] = {}
+        self.host_failures_total = 0
+        self.host_recoveries_total = 0
         self.jobs: Dict[int, Job] = {}
         self.collectors: Dict[int, LogCollector] = {}
         self.churn_managers: Dict[int, ChurnManager] = {}
@@ -211,6 +216,32 @@ class JobStore:
     def alive_daemons(self) -> List[Splayd]:
         return [d for d in self.daemons.values() if d.alive]
 
+    def alive_host_ips(self) -> List[str]:
+        return sorted(ip for ip, daemon in self.daemons.items() if daemon.alive)
+
+    def failed_host_ips(self) -> List[str]:
+        return sorted(ip for ip, daemon in self.daemons.items() if not daemon.alive)
+
+    def host_alive(self, ip: str) -> bool:
+        daemon = self.daemons.get(ip)
+        return daemon is not None and daemon.alive
+
+    def shard_for_daemon(self, ip: str) -> "CtlShard":
+        """The alive shard a daemon's commands travel through.
+
+        Normally the shard the daemon is registered with; if that shard died
+        (and rehoming has not caught this daemon yet) the lowest-index
+        survivor serves, exactly like job reclaiming.
+        """
+        name = self.daemon_shard.get(ip)
+        for shard in self.shards:
+            if shard.name == name and shard.alive:
+                return shard
+        alive = self.alive_shards()
+        if not alive:
+            raise ControllerError("no alive controller shard")
+        return alive[0]
+
     # ------------------------------------------------------------------- jobs
     def create_job(self, spec: JobSpec) -> Job:
         job = Job(spec, created_at=self.sim.now, job_id=len(self.jobs) + 1)
@@ -278,6 +309,8 @@ class ShardStats:
     daemons_registered: int = 0
     jobs_claimed: int = 0
     jobs_reclaimed: int = 0
+    hosts_failed: int = 0
+    hosts_recovered: int = 0
     batches_sent: int = 0
     commands_sent: int = 0
     instances_started: int = 0
@@ -341,10 +374,17 @@ class CtlShard:
             raise ControllerError(
                 f"job #{job.job_id}: only {placed}/{job.spec.instances} "
                 f"instances could be placed")
-        if job.spec.churn_script:
+        if job.spec.churn_script or job.spec.churn_trace:
             sim = self.store.sim
             churn = ChurnManager(sim, _churn_driver(self.store), job, seed=sim.seed)
-            churn.load_script(job.spec.churn_script)
+            actions = []
+            if job.spec.churn_script:
+                actions.extend(parse_churn_script(job.spec.churn_script))
+            if job.spec.churn_trace:
+                # Availability traces replay as host-level fail/recover
+                # actions, merged with (and replayed alongside) any script.
+                actions.extend(trace_churn_actions(job.spec.churn_trace))
+            churn.load_actions(actions)
             churn.start()
             self.store.churn_managers[job.job_id] = churn
         return instances
@@ -424,6 +464,39 @@ class CtlShard:
         self.kill_instances(list(job.instances), reason=f"job #{job.job_id} stopped")
         job.state = JobState.STOPPED
 
+    # ------------------------------------------------------------ host churn
+    def fail_host(self, ip: str) -> int:
+        """Take a whole daemon down: every co-located instance (of every job)
+        dies, in-flight transfers are cancelled, and the store records the
+        host as control-plane-down.  Returns the number of instances killed."""
+        daemon = self.store.daemons.get(ip)
+        if daemon is None:
+            raise ControllerError(f"no daemon on {ip}")
+        victims = list(daemon.instances)
+        killed = daemon.fail()
+        for instance in victims:
+            instance.job.record_stop(instance, failed=True)
+        self.store.host_state[ip] = "down"
+        self.store.host_failures_total += 1
+        self.stats.hosts_failed += 1
+        return killed
+
+    def recover_host(self, ip: str) -> None:
+        """Bring a failed daemon back (empty, like a freshly booted splayd).
+
+        The daemon keeps its registration (and shard assignment): placement
+        sees it again immediately, so later joins can land on it.
+        """
+        daemon = self.store.daemons.get(ip)
+        if daemon is None:
+            raise ControllerError(f"no daemon on {ip}")
+        if daemon.alive:
+            return
+        daemon.recover()
+        self.store.host_state[ip] = "up"
+        self.store.host_recoveries_total += 1
+        self.stats.hosts_recovered += 1
+
     # ---------------------------------------------------------------- failure
     def fail(self) -> None:
         """Take this shard down; the store rehomes its daemons and claims."""
@@ -477,3 +550,23 @@ class _churn_driver:
 
     def stop(self, job: Job) -> None:
         self.store.claimant(job).stop(job)
+
+    # Host-level churn routes through the daemon's *current* shard (which
+    # follows shard failover), and the host views come from the store.
+    def fail_host(self, ip: str) -> int:
+        return self.store.shard_for_daemon(ip).fail_host(ip)
+
+    def recover_host(self, ip: str) -> None:
+        self.store.shard_for_daemon(ip).recover_host(ip)
+
+    def daemon_ips(self) -> List[str]:
+        return sorted(self.store.daemons)
+
+    def alive_host_ips(self) -> List[str]:
+        return self.store.alive_host_ips()
+
+    def failed_host_ips(self) -> List[str]:
+        return self.store.failed_host_ips()
+
+    def host_alive(self, ip: str) -> bool:
+        return self.store.host_alive(ip)

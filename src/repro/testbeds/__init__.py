@@ -1,0 +1,36 @@
+"""Pluggable deployment environments (testbeds).
+
+Paper counterpart: Section 5.4 — the same SPLAY applications run unchanged
+on a local cluster, on ModelNet, on PlanetLab and on mixed deployments
+spanning several testbeds at once.  This package holds everything
+environment-shaped: a :class:`TestbedSpec` bundles the topology, latency,
+loss, bandwidth and host-load models behind one name, and the harness
+builds whatever the selected spec describes.
+
+Built-in presets (see :mod:`repro.testbeds.presets`): ``transit-stub``
+(the historical default), ``cluster``, ``planetlab`` and ``mixed``.
+"""
+
+from repro.testbeds.spec import (
+    BuiltTestbed,
+    TestbedSpec,
+    UnknownTestbedError,
+    all_specs,
+    default_host_policy,
+    get_testbed,
+    load_builtin,
+    register,
+    testbed_names,
+)
+
+__all__ = [
+    "BuiltTestbed",
+    "TestbedSpec",
+    "UnknownTestbedError",
+    "all_specs",
+    "default_host_policy",
+    "get_testbed",
+    "load_builtin",
+    "register",
+    "testbed_names",
+]

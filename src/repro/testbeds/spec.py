@@ -1,0 +1,115 @@
+"""Testbed specifications and their registry.
+
+A *testbed* is everything environment-shaped about a deployment: the
+topology (if any), the latency model, the loss model, the host-load /
+processing-delay model, link capacities and the default host-count policy.
+Workloads never see any of it directly — the harness resolves a testbed by
+name, asks it to build the network substrate, and deploys the same job on
+whatever comes back.  That is the paper's Section 5.4 contract: the same
+application runs unchanged on a local cluster, on PlanetLab, or on a mixed
+deployment spanning both.
+
+Public entry points: :class:`TestbedSpec` (one named environment),
+:class:`BuiltTestbed` (the substrate a builder returns), and the registry
+functions :func:`register` / :func:`get_testbed` / :func:`testbed_names`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+
+class UnknownTestbedError(KeyError):
+    """Raised when looking up a testbed name nobody registered."""
+
+
+def default_host_policy(nodes: int) -> int:
+    """The historical host-count heuristic: half the instances, at least 8."""
+    return max(8, nodes // 2)
+
+
+@dataclass
+class BuiltTestbed:
+    """The substrate a testbed builder hands back to the harness.
+
+    ``network`` has every host's latency/loss/bandwidth/processing models
+    already wired; ``topology`` is the emulated topology object when the
+    testbed has one (``None`` for model-only testbeds like ``planetlab``);
+    ``description`` is the dict recorded as the report's ``topology`` entry
+    (for ``transit-stub`` it must stay exactly ``topology.describe()`` so
+    historical report digests are preserved); ``groups`` maps each host IP
+    to its sub-testbed name on mixed deployments (empty otherwise).
+    """
+
+    name: str
+    network: Network
+    topology: Optional[Any] = None
+    description: Dict[str, Any] = field(default_factory=dict)
+    groups: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TestbedSpec:
+    """One named deployment environment.
+
+    ``builder`` receives ``(sim, ips, seed)`` — the simulator, the host
+    address plan and the root seed — and returns a fully wired
+    :class:`BuiltTestbed`.  ``default_hosts`` maps an instance count to the
+    testbed's default host count (every built-in uses the historical
+    ``max(8, nodes // 2)`` so switching testbeds never silently changes the
+    deployment size).
+    """
+
+    #: not a test class, whatever pytest thinks of the name
+    __test__ = False
+
+    name: str
+    help: str
+    builder: Callable[[Simulator, List[str], int], BuiltTestbed]
+    default_hosts: Callable[[int], int] = default_host_policy
+
+    def build(self, sim: Simulator, ips: List[str], seed: int) -> BuiltTestbed:
+        built = self.builder(sim, ips, seed)
+        built.name = self.name
+        return built
+
+
+_REGISTRY: Dict[str, TestbedSpec] = {}
+
+
+def register(spec: TestbedSpec) -> TestbedSpec:
+    """Add ``spec`` to the registry (idempotent for the same object)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise ValueError(f"testbed {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_testbed(name: str) -> TestbedSpec:
+    load_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownTestbedError(
+            f"unknown testbed {name!r} (known: {known})") from None
+
+
+def all_specs() -> List[TestbedSpec]:
+    """Registered specs, in registration order (transit-stub first)."""
+    load_builtin()
+    return list(_REGISTRY.values())
+
+
+def testbed_names() -> List[str]:
+    return [spec.name for spec in all_specs()]
+
+
+def load_builtin() -> None:
+    """Import the built-in preset module (it registers on import)."""
+    from repro.testbeds import presets  # noqa: F401  (local: import cycle)

@@ -3,10 +3,14 @@
 import csv
 import json
 
+import pytest
+
 from repro.apps.scenarios import (
     BENCH_CSV_COLUMNS,
+    _aggregate_seed_rows,
     _kernel_timer_churn,
     check_bench_regression,
+    mean_ci95,
     run_bench,
     write_bench_csv,
 )
@@ -52,6 +56,60 @@ def test_run_bench_sweeps_host_counts_and_other_workloads():
     assert all(r["workload"] == "pastry" for r in scenario_rows)
     assert summary["config"]["workload"] == "pastry"
     assert summary["config"]["hosts"] == [4, 8]
+
+
+def test_mean_ci95_uses_student_t_for_small_samples():
+    mean, ci = mean_ci95([10.0])
+    assert (mean, ci) == (10.0, 0.0)  # one sample: no interval
+    mean, ci = mean_ci95([8.0, 12.0])
+    assert mean == 10.0
+    # n=2: t(df=1)=12.706, s=2*sqrt(2)... half-width = 12.706 * 2 = 25.412
+    assert ci == pytest.approx(12.706 * 2.0, rel=1e-6)
+    mean, ci = mean_ci95([10.0, 10.0, 10.0, 10.0])
+    assert (mean, ci) == (10.0, 0.0)  # zero variance
+
+
+def test_aggregate_seed_rows_means_perf_and_keeps_the_first_digest():
+    per_seed = [
+        {"seed": 0, "wall_sec": 1.0, "virtual_time": 100.0, "events_executed": 1000,
+         "events_per_sec": 1000.0, "wall_per_virtual_sec": 0.01,
+         "success_rate": 1.0, "latency_p50_ms": 10.0, "latency_p95_ms": 20.0,
+         "hops_mean": 3.0, "report_digest": "aaaa"},
+        {"seed": 1, "wall_sec": 3.0, "virtual_time": 100.0, "events_executed": 2000,
+         "events_per_sec": 2000.0, "wall_per_virtual_sec": 0.03,
+         "success_rate": 0.9, "latency_p50_ms": 30.0, "latency_p95_ms": 40.0,
+         "hops_mean": 5.0, "report_digest": "bbbb"},
+    ]
+    row = _aggregate_seed_rows(per_seed)
+    assert row["seeds"] == 2
+    assert row["seed"] == 0
+    assert row["events_per_sec"] == 1500.0
+    assert row["events_per_sec_ci95"] > 0
+    assert row["success_rate"] == pytest.approx(0.95)
+    assert row["latency_p50_ms"] == pytest.approx(20.0)
+    assert row["events_executed"] == 1500
+    assert row["report_digest"] == "aaaa"  # digests are per-seed values
+
+
+def test_run_bench_multi_seed_emits_means_with_ci():
+    summary = run_bench(nodes_list=[8], churn_rates=[0.0], kernels=["wheel"],
+                        seed=3, seeds=2, lookups=5, micro_duration=1.0,
+                        quiet=True)
+    (row,) = [r for r in summary["rows"] if r["row_type"] == "scenario"]
+    assert row["seeds"] == 2
+    assert row["events_per_sec"] > 0
+    assert row["events_per_sec_ci95"] >= 0
+    assert summary["config"]["seeds"] == 2
+    assert summary["mismatches"] == []
+
+
+def test_run_bench_records_the_testbed_in_every_scenario_row():
+    summary = run_bench(nodes_list=[8], churn_rates=[0.0], kernels=["wheel"],
+                        seed=3, lookups=5, micro_duration=1.0, quiet=True,
+                        testbed="cluster")
+    scenario_rows = [r for r in summary["rows"] if r["row_type"] == "scenario"]
+    assert all(r["testbed"] == "cluster" for r in scenario_rows)
+    assert summary["config"]["testbed"] == "cluster"
 
 
 def test_kernel_timer_churn_is_deterministic_per_kernel():

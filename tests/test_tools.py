@@ -1,0 +1,74 @@
+"""Repo tools: the CDF plotter (stdlib fallback) and the trace generator."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+_TOOLS = _REPO / "tools"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, _TOOLS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_cdf_csv(path, samples):
+    from repro.apps.harness import write_cdf
+
+    write_cdf(str(path), samples)
+
+
+def test_plot_cdf_reads_the_harness_csv_format(tmp_path):
+    plot_cdf = _load("plot_cdf")
+    csv_path = tmp_path / "cdf.csv"
+    _write_cdf_csv(csv_path, [10.0, 20.0, 30.0, 40.0])
+    xs, ys = plot_cdf.read_cdf(str(csv_path))
+    assert xs == [10.0, 20.0, 30.0, 40.0]
+    assert ys == [0.25, 0.5, 0.75, 1.0]
+
+
+def test_plot_cdf_svg_fallback_renders_every_curve(tmp_path):
+    plot_cdf = _load("plot_cdf")
+    curves = [("stable", [5.0, 10.0], [0.5, 1.0]),
+              ("churn", [5.0, 40.0], [0.5, 1.0])]
+    out = plot_cdf._plot_svg(curves, str(tmp_path / "plot.png"), "title")
+    assert out.endswith(".svg")  # extension is corrected for the fallback
+    svg = Path(out).read_text()
+    assert svg.startswith("<svg")
+    assert svg.count("<polyline") == 2
+    assert "stable" in svg and "churn" in svg
+    assert "latency (ms)" in svg
+
+
+def test_plot_cdf_main_plots_multiple_files(tmp_path, capsys):
+    plot_cdf = _load("plot_cdf")
+    first, second = tmp_path / "a.csv", tmp_path / "b.csv"
+    _write_cdf_csv(first, [1.0, 2.0])
+    _write_cdf_csv(second, [3.0, 4.0, 5.0])
+    out = tmp_path / "figure.svg"
+    status = plot_cdf.main([str(first), str(second), "--out", str(out),
+                            "--labels", "one", "two"])
+    assert status == 0
+    assert out.exists()
+    assert "2 curve(s), 5 samples" in capsys.readouterr().out
+
+
+def test_plot_cdf_main_rejects_label_count_mismatch(tmp_path, capsys):
+    plot_cdf = _load("plot_cdf")
+    csv_path = tmp_path / "a.csv"
+    _write_cdf_csv(csv_path, [1.0])
+    status = plot_cdf.main([str(csv_path), "--labels", "a", "b"])
+    assert status == 2
+    assert "label" in capsys.readouterr().err
+
+
+def test_gen_availability_trace_defaults_reproduce_the_bundled_file(tmp_path, capsys):
+    gen = _load("gen_availability_trace")
+    out = tmp_path / "trace.txt"
+    status = gen.main(["--out", str(out)])
+    assert status == 0
+    assert out.read_text() == (_REPO / "traces" / "synthetic_overnet.trace").read_text()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Regenerate the bundled synthetic availability trace (or make new ones).
+
+The repo ships ``traces/synthetic_overnet.trace``, an Overnet-shaped
+availability trace (``host_id start end`` uptime intervals) used by the CI
+``--churn-trace`` smoke leg and the trace-churn tests.  The trace is fully
+determined by its parameters, so it can always be regenerated instead of
+trusted blindly:
+
+    PYTHONPATH=src python tools/gen_availability_trace.py \
+        --hosts 6 --duration 300 --seed 9 --mean-up 150 --mean-down 40 \
+        --out traces/synthetic_overnet.trace
+
+Run with the defaults to reproduce the committed file byte for byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.churn import synthetic_availability_trace
+
+#: the committed traces/synthetic_overnet.trace is generated with these
+DEFAULTS = dict(hosts=6, duration=300.0, seed=9, mean_up=150.0, mean_down=40.0)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--hosts", type=int, default=DEFAULTS["hosts"])
+    parser.add_argument("--duration", type=float, default=DEFAULTS["duration"])
+    parser.add_argument("--seed", type=int, default=DEFAULTS["seed"])
+    parser.add_argument("--mean-up", type=float, default=DEFAULTS["mean_up"])
+    parser.add_argument("--mean-down", type=float, default=DEFAULTS["mean_down"])
+    parser.add_argument("--out", type=str, default=None,
+                        help="output path (default: stdout)")
+    args = parser.parse_args(argv)
+    text = synthetic_availability_trace(
+        hosts=args.hosts, duration=args.duration, seed=args.seed,
+        mean_up=args.mean_up, mean_down=args.mean_down)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

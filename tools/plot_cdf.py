@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Plot one or more ``--cdf`` CSVs (``latency_ms,fraction``) on one figure.
+
+Every scenario subcommand can dump its measured latency distribution with
+``--cdf PATH`` (the shape of the paper's Figures 7-13).  This script turns
+those CSVs into a figure:
+
+    python tools/plot_cdf.py chord_stable.csv chord_churn.csv \
+        --labels "no churn" "flagship churn" --out chord_cdf.png
+
+With matplotlib installed the output is whatever format the ``--out``
+extension says (png, pdf, svg, ...).  Without matplotlib the script falls
+back to a pure-stdlib SVG writer — same curves, no dependencies — and the
+output path's extension is switched to ``.svg`` if needed.  No network, no
+pip: the fallback keeps the plot step working on bare CI images.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+Curve = Tuple[str, List[float], List[float]]  # label, latencies_ms, fractions
+
+
+def read_cdf(path: str) -> Tuple[List[float], List[float]]:
+    """Read one ``latency_ms,fraction`` CSV into parallel lists."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        rows = list(csv.DictReader(handle))
+    if not rows or "latency_ms" not in rows[0] or "fraction" not in rows[0]:
+        raise ValueError(f"{path}: expected a 'latency_ms,fraction' CSV header")
+    return ([float(r["latency_ms"]) for r in rows],
+            [float(r["fraction"]) for r in rows])
+
+
+def _plot_matplotlib(curves: List[Curve], out: str, title: str) -> str:
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(5.0, 3.2))
+    for label, xs, ys in curves:
+        ax.plot(xs, ys, drawstyle="steps-post", label=label)
+    ax.set_xlabel("latency (ms)")
+    ax.set_ylabel("fraction of operations")
+    ax.set_ylim(0, 1.02)
+    ax.set_xlim(left=0)
+    if title:
+        ax.set_title(title)
+    ax.legend(loc="lower right")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    return out
+
+
+#: simple qualitative palette for the stdlib fallback
+_COLORS = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"]
+
+
+def _esc(text: str) -> str:
+    """XML-escape user text (titles, labels) before it lands inside SVG."""
+    return (text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;"))
+
+_WIDTH, _HEIGHT = 640, 420
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 60, 20, 30, 45
+
+
+def _plot_svg(curves: List[Curve], out: str, title: str) -> str:
+    """Stdlib fallback: hand-written SVG with axes, ticks and a legend."""
+    out = str(Path(out).with_suffix(".svg"))
+    x_max = max((xs[-1] for _label, xs, _ys in curves if xs), default=1.0) or 1.0
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def sx(x: float) -> float:
+        return _MARGIN_L + plot_w * (x / x_max)
+
+    def sy(y: float) -> float:
+        return _MARGIN_T + plot_h * (1.0 - y)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        # axes
+        f'<line x1="{_MARGIN_L}" y1="{sy(0)}" x2="{_WIDTH - _MARGIN_R}" '
+        f'y2="{sy(0)}" stroke="black"/>',
+        f'<line x1="{_MARGIN_L}" y1="{sy(0)}" x2="{_MARGIN_L}" '
+        f'y2="{_MARGIN_T}" stroke="black"/>',
+    ]
+    if title:
+        parts.append(f'<text x="{_WIDTH / 2}" y="18" text-anchor="middle" '
+                     f'font-size="13">{_esc(title)}</text>')
+    for tick in range(0, 5):  # y ticks at 0, .25, .5, .75, 1
+        y = tick / 4.0
+        parts.append(f'<line x1="{_MARGIN_L - 4}" y1="{sy(y)}" '
+                     f'x2="{_MARGIN_L}" y2="{sy(y)}" stroke="black"/>')
+        parts.append(f'<text x="{_MARGIN_L - 8}" y="{sy(y) + 4}" '
+                     f'text-anchor="end">{y:g}</text>')
+    for tick in range(0, 5):  # x ticks at quarters of the range
+        x = x_max * tick / 4.0
+        parts.append(f'<line x1="{sx(x)}" y1="{sy(0)}" x2="{sx(x)}" '
+                     f'y2="{sy(0) + 4}" stroke="black"/>')
+        parts.append(f'<text x="{sx(x)}" y="{sy(0) + 16}" '
+                     f'text-anchor="middle">{x:.0f}</text>')
+    parts.append(f'<text x="{_MARGIN_L + plot_w / 2}" y="{_HEIGHT - 8}" '
+                 f'text-anchor="middle">latency (ms)</text>')
+    parts.append(f'<text x="14" y="{_MARGIN_T + plot_h / 2}" text-anchor="middle" '
+                 f'transform="rotate(-90 14 {_MARGIN_T + plot_h / 2})">'
+                 f'fraction of operations</text>')
+    for index, (label, xs, ys) in enumerate(curves):
+        color = _COLORS[index % len(_COLORS)]
+        points, last_y = [], 0.0
+        for x, y in zip(xs, ys):
+            points.append(f"{sx(x):.1f},{sy(last_y):.1f}")  # steps-post
+            points.append(f"{sx(x):.1f},{sy(y):.1f}")
+            last_y = y
+        if points:
+            parts.append(f'<polyline points="{" ".join(points)}" fill="none" '
+                         f'stroke="{color}" stroke-width="1.5"/>')
+        ly = _MARGIN_T + 14 + 16 * index  # legend, top-left of the plot area
+        parts.append(f'<line x1="{_MARGIN_L + 10}" y1="{ly - 4}" '
+                     f'x2="{_MARGIN_L + 34}" y2="{ly - 4}" stroke="{color}" '
+                     f'stroke-width="1.5"/>')
+        parts.append(f'<text x="{_MARGIN_L + 40}" y="{ly}">{_esc(label)}</text>')
+    parts.append("</svg>")
+    Path(out).write_text("\n".join(parts) + "\n", encoding="utf-8")
+    return out
+
+
+def plot(curves: List[Curve], out: str, title: str = "") -> str:
+    """Render ``curves`` to ``out``; returns the path actually written."""
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return _plot_svg(curves, out, title)
+    return _plot_matplotlib(curves, out, title)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("csvs", nargs="+", metavar="CDF_CSV",
+                        help="CSV files written by a scenario's --cdf flag")
+    parser.add_argument("--labels", nargs="*", default=None,
+                        help="one legend label per CSV (default: file stems)")
+    parser.add_argument("--out", default="latency_cdf.svg",
+                        help="output figure path (extension picks the format; "
+                             "falls back to .svg without matplotlib)")
+    parser.add_argument("--title", default="", help="figure title")
+    args = parser.parse_args(argv)
+    if args.labels and len(args.labels) != len(args.csvs):
+        print("error: need exactly one label per CSV", file=sys.stderr)
+        return 2
+    curves: List[Curve] = []
+    for index, path in enumerate(args.csvs):
+        label = args.labels[index] if args.labels else Path(path).stem
+        try:
+            xs, ys = read_cdf(path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        curves.append((label, xs, ys))
+    written = plot(curves, args.out, args.title)
+    total = sum(len(xs) for _label, xs, _ys in curves)
+    print(f"plotted {len(curves)} curve(s), {total} samples -> {written}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
