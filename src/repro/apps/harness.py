@@ -35,6 +35,7 @@ import csv
 import hashlib
 import json
 import math
+import sys
 from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional
 
@@ -94,7 +95,10 @@ def host_ips(count: int) -> List[str]:
     for i in range(count):
         first = 10 + i // _HOSTS_PER_BLOCK
         rest = i % _HOSTS_PER_BLOCK
-        ips.append(f"{first}.{rest // 256}.{rest % 256}.1")
+        # Interned: these strings are dict keys in the network/bandwidth/
+        # latency maps and appear in every NodeRef — intern once so lookups
+        # are pointer comparisons and each IP is stored a single time.
+        ips.append(sys.intern(f"{first}.{rest // 256}.{rest % 256}.1"))
     return ips
 
 

@@ -19,7 +19,10 @@ prints the same ``report digest``).
 
 ``scenarios bench`` sweeps nodes x churn-rate (and optionally host-count)
 grids for any registered workload over both kernels and emits CSV + JSON
-perf numbers with a regression gate.
+perf numbers with a regression gate.  ``--jobs N`` spreads the grid cells
+over an N-worker process pool (deterministic columns stay byte-identical
+with the serial run); ``--scale`` switches to the large-deployment profile
+(Chord at 1k/5k/10k nodes with fixed windows, per-cell peak RSS).
 """
 
 from __future__ import annotations
@@ -31,6 +34,11 @@ import math
 import sys
 import time
 from typing import List, Optional
+
+try:  # resource is POSIX-only; peak-RSS columns degrade to 0 elsewhere
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
 
 from repro.apps import harness, registry
 # Re-exported for compatibility: the flagship runner and its churn script
@@ -117,9 +125,9 @@ def _print_report(report: dict, spec: registry.ScenarioSpec) -> None:
 #: CSV columns emitted by ``scenarios bench`` (one row per grid cell+kernel)
 BENCH_CSV_COLUMNS = [
     "row_type", "workload", "testbed", "kernel", "nodes", "hosts", "churn_rate",
-    "ctl_shards", "seed", "seeds",
+    "ctl_shards", "seed", "seeds", "jobs",
     "wall_sec", "virtual_time", "events_executed", "events_per_sec",
-    "events_per_sec_ci95", "wall_per_virtual_sec",
+    "events_per_sec_ci95", "wall_per_virtual_sec", "peak_rss_kb",
     "lookups_issued", "lookups_correct", "success_rate",
     "latency_p50_ms", "latency_p95_ms", "hops_mean",
     "rpc_calls_sent", "rpc_retries", "rpc_timeouts",
@@ -127,6 +135,35 @@ BENCH_CSV_COLUMNS = [
     "churn_joins", "churn_leaves", "churn_crashes",
     "report_digest",
 ]
+
+#: columns that legitimately differ between runs, machines and ``--jobs``
+#: settings — everything else must be byte-identical for the same grid cell
+#: whatever the worker count (tests compare :func:`deterministic_row_view`)
+BENCH_TIMING_COLUMNS = frozenset({
+    "wall_sec", "events_per_sec", "events_per_sec_ci95",
+    "wall_per_virtual_sec", "peak_rss_kb", "jobs",
+})
+
+
+def deterministic_row_view(row: dict) -> dict:
+    """A bench row minus its timing/measurement columns.
+
+    This is the parallelism contract: for the same grid cell this view is
+    byte-identical whether the cell ran serially, on a process pool, or on
+    another machine.
+    """
+    return {key: value for key, value in row.items()
+            if key not in BENCH_TIMING_COLUMNS}
+
+
+def _peak_rss_kb() -> int:
+    """This process's peak resident set size in KB (0 where unsupported)."""
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KB on Linux
+        peak //= 1024
+    return int(peak)
 
 #: two-sided 95 % Student-t critical values by degrees of freedom (n - 1);
 #: beyond 30 the normal approximation is close enough
@@ -273,13 +310,71 @@ def _bench_scenario_row(spec: registry.ScenarioSpec, kernel: str, nodes: int,
     return row
 
 
+def _bench_task_row(task: dict) -> dict:
+    """Execute one bench task descriptor and return its row.
+
+    Top-level (picklable) so ``--jobs N`` can ship tasks to pool workers;
+    descriptors are pure data (the workload name, kernel, grid coordinates
+    and runner kwargs), so a task produces the same deterministic columns in
+    any process.  ``kind`` selects the task type: a ``scenario`` grid cell,
+    a ``scale`` profile cell, or the kernel ``micro`` benchmark.
+    """
+    registry.load_builtin()
+    kind = task["kind"]
+    if kind == "micro":
+        row = _kernel_timer_churn(task["kernel"], task["nodes"],
+                                  duration=task["duration"])
+    else:
+        spec = registry.get_spec(task["workload"])
+        start = time.perf_counter()
+        report = spec.runner(**task["runner_kwargs"])
+        wall = time.perf_counter() - start
+        row = _bench_scenario_row(spec, task["kernel"], task["nodes"],
+                                  task["churn_rate"], task["seed"], report, wall)
+        if kind == "scale":
+            row["row_type"] = "scale"
+    # Meaningful per cell only with fresh workers (scale mode); in a serial
+    # or shared-worker run this is the process's cumulative high-water mark.
+    row["peak_rss_kb"] = _peak_rss_kb()
+    return row
+
+
+def _run_bench_tasks(tasks: List[dict], jobs: int,
+                     fresh_workers: bool = False) -> List[dict]:
+    """Run bench tasks serially or on a process pool, preserving task order.
+
+    ``jobs <= 1`` without ``fresh_workers`` runs in-process (the historical
+    serial path).  Otherwise a ``ProcessPoolExecutor`` executes the tasks;
+    ``map(..., chunksize=1)`` keeps results in submission order, so row
+    assembly is identical for any worker count.  ``fresh_workers`` recycles
+    the worker after every task (``max_tasks_per_child=1``) so each cell's
+    peak RSS is its own; on Python < 3.11 (no such parameter) workers are
+    shared and RSS becomes cumulative per worker.
+    """
+    if jobs <= 1 and not fresh_workers:
+        return [_bench_task_row(task) for task in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+
+    executor = None
+    if fresh_workers:
+        try:
+            executor = ProcessPoolExecutor(max_workers=max(1, jobs),
+                                           max_tasks_per_child=1)
+        except TypeError:  # pragma: no cover - Python < 3.11
+            executor = None
+    if executor is None:
+        executor = ProcessPoolExecutor(max_workers=max(1, jobs))
+    with executor:
+        return list(executor.map(_bench_task_row, tasks, chunksize=1))
+
+
 def run_bench(nodes_list: List[int], churn_rates: List[float],
               kernels: List[str], seed: int = 0, lookups: int = 100,
               micro_duration: float = 60.0, quiet: bool = False,
               workload: str = "chord",
               hosts_list: Optional[List[Optional[int]]] = None,
               ctl_shards: int = 1, testbed: str = "transit-stub",
-              seeds: int = 1) -> dict:
+              seeds: int = 1, jobs: int = 1) -> dict:
     """Sweep the scenario grid and the kernel microbenchmark; return the summary.
 
     For every ``(nodes, hosts, churn_rate)`` cell the scenario runs once per
@@ -293,6 +388,13 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
     ``seeds > 1`` each cell runs once per root seed (``seed .. seed+N-1``)
     and its row carries the across-seed mean ``events_per_sec`` plus a 95 %
     CI half-width — the kernel digest cross-check then applies per seed.
+
+    ``jobs > 1`` runs the flattened task list (grid cells x kernels x seeds,
+    then the microbench cells) on a process pool.  Each task seeds its own
+    simulator from pure descriptor data, so every deterministic column (see
+    :data:`BENCH_TIMING_COLUMNS` for the exclusions) and every report digest
+    is byte-identical with the serial run; only wall-clock-derived numbers
+    move.  Progress lines print after the sweep in grid order.
     """
     def say(text: str) -> None:
         if not quiet:
@@ -300,30 +402,46 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
 
     if seeds < 1:
         raise ValueError("bench needs at least one seed")
+    if jobs < 1:
+        raise ValueError("bench needs at least one worker")
     spec = registry.get_spec(workload)
     hosts_sweep: List[Optional[int]] = hosts_list if hosts_list else [None]
-    rows: List[dict] = []
-    mismatches: List[str] = []
+    # Flatten the grid into pure task descriptors first: execution (serial or
+    # pooled) is separated from row assembly, which walks the same nested
+    # loops over the ordered results so rows come out identical either way.
+    tasks: List[dict] = []
     for nodes in nodes_list:
         for hosts in hosts_sweep:
             for rate in churn_rates:
                 script = synthetic_churn_script(duration=120.0, period=30.0,
                                                 fraction=rate) if rate > 0 else None
-                digests = {}
                 for kernel in kernels:
-                    per_seed: List[dict] = []
                     for offset in range(seeds):
                         kwargs = dict(nodes=nodes, hosts=hosts, seed=seed + offset,
                                       churn_script=script, kernel=kernel,
                                       ctl_shards=ctl_shards, testbed=testbed)
                         if spec.ops_param is not None:
                             kwargs[spec.ops_param] = lookups
-                        start = time.perf_counter()
-                        report = spec.runner(**kwargs)
-                        wall = time.perf_counter() - start
-                        per_seed.append(_bench_scenario_row(
-                            spec, kernel, nodes, rate, seed + offset, report, wall))
+                        tasks.append({"kind": "scenario", "workload": workload,
+                                      "kernel": kernel, "nodes": nodes,
+                                      "churn_rate": rate, "seed": seed + offset,
+                                      "runner_kwargs": kwargs})
+    for nodes in nodes_list:
+        for kernel in kernels:
+            tasks.append({"kind": "micro", "kernel": kernel, "nodes": nodes,
+                          "duration": micro_duration})
+
+    results = iter(_run_bench_tasks(tasks, jobs))
+    rows: List[dict] = []
+    mismatches: List[str] = []
+    for nodes in nodes_list:
+        for hosts in hosts_sweep:
+            for rate in churn_rates:
+                digests = {}
+                for kernel in kernels:
+                    per_seed = [next(results) for _ in range(seeds)]
                     row = _aggregate_seed_rows(per_seed)
+                    row["jobs"] = jobs
                     rows.append(row)
                     digests[kernel] = tuple(r["report_digest"] for r in per_seed)
                     ci = (f" ±{row['events_per_sec_ci95']:.0f}"
@@ -342,7 +460,8 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
     for nodes in nodes_list:
         per_kernel = {}
         for kernel in kernels:
-            row = _kernel_timer_churn(kernel, nodes, duration=micro_duration)
+            row = next(results)
+            row["jobs"] = jobs
             rows.append(row)
             per_kernel[kernel] = row["events_per_sec"]
             say(f"kernel-timer-churn nodes={nodes} kernel={kernel}: "
@@ -363,6 +482,7 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
             "ctl_shards": ctl_shards,
             "seed": seed,
             "seeds": seeds,
+            "jobs": jobs,
             "lookups": lookups,
             "micro_duration": micro_duration,
         },
@@ -371,6 +491,74 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
         "mismatches": mismatches,
     }
     return summary
+
+
+# --------------------------------------------------------------------- scale
+#: default node counts of the large-deployment profile (``bench --scale``)
+DEFAULT_SCALE_NODES = [1000, 5000, 10000]
+#: fixed windows for scale cells: unlike the grid bench (whose windows scale
+#: with the ring size), every scale cell joins over the same 30 s and
+#: settles for the same 20 s, so a 10k-node cell measures per-event and
+#: per-node overhead rather than a proportionally longer experiment
+SCALE_JOIN_WINDOW = 30.0
+SCALE_SETTLE = 20.0
+
+
+def run_scale_bench(scales: Optional[List[int]] = None, jobs: int = 1,
+                    seed: int = 0, lookups: int = 100, kernel: str = "wheel",
+                    testbed: str = "transit-stub", quiet: bool = False) -> dict:
+    """The large-deployment profile: Chord at 1k/5k/10k nodes, peak RSS per cell.
+
+    Every cell runs in a *fresh* pool worker (``max_tasks_per_child=1``,
+    even with ``jobs=1``) so its ``peak_rss_kb`` is that deployment's own
+    high-water mark rather than the run's cumulative maximum.  Rows carry
+    ``row_type="scale"`` and flow through the same CSV schema and
+    :func:`check_bench_regression` gate as the grid bench — the committed
+    ``BENCH_scale.json`` baseline gates both events/sec (floor) and peak
+    RSS (ceiling).
+    """
+    def say(text: str) -> None:
+        if not quiet:
+            print(text, flush=True)
+
+    if jobs < 1:
+        raise ValueError("bench needs at least one worker")
+    scale_list = list(scales) if scales else list(DEFAULT_SCALE_NODES)
+    tasks = []
+    for nodes in scale_list:
+        kwargs = dict(nodes=nodes, hosts=None, seed=seed, churn_script=None,
+                      kernel=kernel, ctl_shards=1, testbed=testbed,
+                      lookups=lookups, join_window=SCALE_JOIN_WINDOW,
+                      settle=SCALE_SETTLE)
+        tasks.append({"kind": "scale", "workload": "chord", "kernel": kernel,
+                      "nodes": nodes, "churn_rate": 0.0, "seed": seed,
+                      "runner_kwargs": kwargs})
+    rows = []
+    for row in _run_bench_tasks(tasks, jobs, fresh_workers=True):
+        row["seeds"] = 1
+        row["jobs"] = jobs
+        rows.append(row)
+        say(f"scale nodes={row['nodes']} hosts={row['hosts']} kernel={kernel}: "
+            f"{row['events_per_sec']:.0f} ev/s, wall={row['wall_sec']:.1f}s, "
+            f"peak_rss={row['peak_rss_kb']} KB, "
+            f"digest={row['report_digest']}")
+    return {
+        "bench": "scale",
+        "config": {
+            "workload": "chord",
+            "testbed": testbed,
+            "scales": scale_list,
+            "kernel": kernel,
+            "seed": seed,
+            "lookups": lookups,
+            "join_window": SCALE_JOIN_WINDOW,
+            "settle": SCALE_SETTLE,
+            "jobs": jobs,
+        },
+        "rows": rows,
+        "speedups": _bench_speedups(rows),
+        "mismatches": [],
+    }
 
 
 def _bench_speedups(rows: List[dict]) -> dict:
@@ -391,7 +579,8 @@ def _bench_speedups(rows: List[dict]) -> dict:
                 key += f",hosts={hosts}"
             if rate != "":
                 key += f",churn={rate}"
-            speedups[row_type][key] = round(per_kernel["wheel"] / per_kernel["heap"], 3)
+            speedups.setdefault(row_type, {})[key] = round(
+                per_kernel["wheel"] / per_kernel["heap"], 3)
     return speedups
 
 
@@ -404,14 +593,18 @@ def write_bench_csv(path: str, rows: List[dict]) -> None:
 
 
 def check_bench_regression(summary: dict, baseline: dict,
-                           tolerance: float = 0.30) -> List[str]:
+                           tolerance: float = 0.30,
+                           rss_tolerance: float = 0.50) -> List[str]:
     """Compare events/sec against a committed baseline (same grid cells only).
 
     Returns a list of human-readable failures for rows whose throughput
     dropped more than ``tolerance`` below the baseline.  Multi-seed rows
     carry the across-seed *mean* in ``events_per_sec``, so that is what the
     gate compares (seed count is part of the cell signature: a 3-seed mean
-    is only compared against a 3-seed baseline).
+    is only compared against a 3-seed baseline).  ``scale`` rows (whose
+    ``peak_rss_kb`` is a per-cell measurement from a fresh worker) are
+    additionally gated on memory: growing more than ``rss_tolerance`` above
+    the baseline's peak RSS is a failure too.
     """
     def index(rows: List[dict]) -> dict:
         # The workload signature (testbed, seeds, lookups, virtual duration)
@@ -436,6 +629,14 @@ def check_bench_regression(summary: dict, baseline: dict,
             failures.append(
                 f"{key}: {seen:.0f} ev/s is {100 * (1 - seen / base):.0f}% below "
                 f"baseline {base:.0f} ev/s (tolerance {100 * tolerance:.0f}%)")
+        if row.get("row_type") == "scale":
+            base_rss = base_row.get("peak_rss_kb") or 0
+            seen_rss = row.get("peak_rss_kb") or 0
+            if base_rss > 0 and seen_rss > base_rss * (1.0 + rss_tolerance):
+                failures.append(
+                    f"{key}: peak RSS {seen_rss} KB is "
+                    f"{100 * (seen_rss / base_rss - 1):.0f}% above baseline "
+                    f"{base_rss} KB (tolerance {100 * rss_tolerance:.0f}%)")
     return failures
 
 
@@ -572,32 +773,62 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="measured operations per scenario run")
     bench.add_argument("--micro-duration", type=float, default=60.0,
                        help="virtual seconds of the kernel timer-churn microbench")
-    bench.add_argument("--csv", type=str, default="bench_kernel.csv",
-                       help="CSV output path")
-    bench.add_argument("--json", type=str, default="BENCH_kernel.json",
-                       help="JSON summary output path")
+    bench.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run grid cells x seeds on an N-worker process "
+                            "pool (deterministic columns and digests are "
+                            "byte-identical with --jobs 1)")
+    bench.add_argument("--scale", action="store_true",
+                       help="large-deployment profile instead of the grid: "
+                            "chord at --scales node counts with fixed "
+                            "windows, peak RSS per cell (fresh worker each)")
+    bench.add_argument("--scales", type=int, nargs="+",
+                       default=DEFAULT_SCALE_NODES, metavar="NODES",
+                       help="node counts swept by --scale")
+    bench.add_argument("--csv", type=str, default=None,
+                       help="CSV output path (default bench_kernel.csv, or "
+                            "bench_scale.csv with --scale)")
+    bench.add_argument("--json", type=str, default=None,
+                       help="JSON summary output path (default "
+                            "BENCH_kernel.json, or BENCH_scale.json "
+                            "with --scale)")
     bench.add_argument("--check", type=str, default=None, metavar="BASELINE",
                        help="compare events/sec against a committed baseline "
                             "JSON and exit non-zero on regression")
     bench.add_argument("--tolerance", type=float, default=0.30,
                        help="allowed fractional events/sec drop for --check")
+    bench.add_argument("--rss-tolerance", type=float, default=0.50,
+                       help="allowed fractional peak-RSS growth for --check "
+                            "of scale rows")
     bench.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
     args = parser.parse_args(argv)
     if args.scenario == "bench":
-        summary = run_bench(nodes_list=args.nodes, churn_rates=args.churn_rates,
-                            kernels=list(dict.fromkeys(args.kernels)), seed=args.seed,
-                            lookups=args.lookups, micro_duration=args.micro_duration,
-                            quiet=args.quiet, workload=args.workload,
-                            hosts_list=args.hosts_list,
-                            ctl_shards=args.ctl_shards,
-                            testbed=args.testbed, seeds=args.seeds)
-        write_bench_csv(args.csv, summary["rows"])
-        with open(args.json, "w", encoding="utf-8") as handle:
+        csv_path = args.csv or ("bench_scale.csv" if args.scale
+                                else "bench_kernel.csv")
+        json_path = args.json or ("BENCH_scale.json" if args.scale
+                                  else "BENCH_kernel.json")
+        if args.scale:
+            summary = run_scale_bench(scales=args.scales, jobs=args.jobs,
+                                      seed=args.seed, lookups=args.lookups,
+                                      kernel=args.kernels[0],
+                                      testbed=args.testbed, quiet=args.quiet)
+        else:
+            summary = run_bench(nodes_list=args.nodes, churn_rates=args.churn_rates,
+                                kernels=list(dict.fromkeys(args.kernels)),
+                                seed=args.seed,
+                                lookups=args.lookups,
+                                micro_duration=args.micro_duration,
+                                quiet=args.quiet, workload=args.workload,
+                                hosts_list=args.hosts_list,
+                                ctl_shards=args.ctl_shards,
+                                testbed=args.testbed, seeds=args.seeds,
+                                jobs=args.jobs)
+        write_bench_csv(csv_path, summary["rows"])
+        with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"bench: wrote {len(summary['rows'])} rows to {args.csv} "
-              f"and summary to {args.json}")
+        print(f"bench: wrote {len(summary['rows'])} rows to {csv_path} "
+              f"and summary to {json_path}")
         for row_type, ratios in summary["speedups"].items():
             for cell, ratio in ratios.items():
                 print(f"speedup[{row_type}] {cell}: {ratio:.2f}x")
@@ -615,7 +846,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                       file=sys.stderr)
                 return 2
             failures = check_bench_regression(summary, baseline,
-                                              tolerance=args.tolerance)
+                                              tolerance=args.tolerance,
+                                              rss_tolerance=args.rss_tolerance)
             for line in failures:
                 print(f"PERF REGRESSION: {line}", file=sys.stderr)
             if failures:

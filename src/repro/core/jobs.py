@@ -65,7 +65,7 @@ class JobSpec:
             raise ValueError(f"base port out of range: {self.base_port}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Placement:
     """One instance's location, as recorded by the controller."""
 
@@ -77,7 +77,7 @@ class Placement:
         return f"i{self.instance_id}@{self.ip}:{self.port}"
 
 
-@dataclass
+@dataclass(slots=True)
 class JobStats:
     """Aggregated per-job counters maintained by the control plane.
 

@@ -31,7 +31,7 @@ class LogLevel(enum.IntEnum):
         return cls(value)
 
 
-@dataclass
+@dataclass(slots=True)
 class LogRecord:
     """One log entry produced by an application instance."""
 
@@ -42,7 +42,7 @@ class LogRecord:
     job_id: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class LogBudget:
     """Restriction on the amount of data an instance may ship to the collector."""
 
@@ -76,6 +76,9 @@ class SplayLogger:
         Callable returning the current virtual time.
     """
 
+    __slots__ = ("source", "level", "remote_sink", "_budget", "clock",
+                 "keep_local", "_records", "enabled")
+
     def __init__(self, source: str, level: LogLevel | str = LogLevel.INFO,
                  remote_sink: Optional[Callable[[LogRecord], None]] = None,
                  budget: Optional[LogBudget] = None,
@@ -84,11 +87,25 @@ class SplayLogger:
         self.source = source
         self.level = LogLevel.coerce(level)
         self.remote_sink = remote_sink
-        self.budget = budget or LogBudget()
+        self._budget = budget
         self.clock = clock
         self.keep_local = keep_local
-        self.records: List[LogRecord] = []
+        # The local buffer and the shipping budget are allocated on first use:
+        # at 10k nodes, most instances log a handful of records (or none).
+        self._records: Optional[List[LogRecord]] = None
         self.enabled = True
+
+    @property
+    def budget(self) -> LogBudget:
+        if self._budget is None:
+            self._budget = LogBudget()
+        return self._budget
+
+    @property
+    def records(self) -> List[LogRecord]:
+        if self._records is None:
+            self._records = []
+        return self._records
 
     # -------------------------------------------------------------- emitters
     def log(self, level: LogLevel | str, message: Any) -> Optional[LogRecord]:
@@ -99,9 +116,12 @@ class SplayLogger:
         if level < self.level:
             return None
         record = LogRecord(time=self.clock(), level=level, source=self.source, message=str(message))
-        self.records.append(record)
-        if len(self.records) > self.keep_local:
-            del self.records[0]
+        records = self._records
+        if records is None:
+            records = self._records = []
+        records.append(record)
+        if len(records) > self.keep_local:
+            del records[0]
         if self.remote_sink is not None and self.budget.admit(len(record.message) + 32):
             self.remote_sink(record)
         return record
@@ -133,4 +153,4 @@ class SplayLogger:
 
     def tail(self, count: int = 10) -> List[LogRecord]:
         """The last ``count`` locally buffered records."""
-        return self.records[-count:]
+        return self._records[-count:] if self._records else []

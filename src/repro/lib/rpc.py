@@ -48,7 +48,7 @@ class RpcTimeout(RpcError):
     """The call received no reply within its timeout (after all retries)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class RpcStats:
     """Per-service counters (exposed to the daemon and to tests)."""
 
@@ -64,6 +64,7 @@ class RpcStats:
 
 #: payload keys — kept short since they travel in every RPC message
 _CALL, _REPLY = "call", "reply"
+_PENDING = FutureState.PENDING
 
 
 class RpcService:
@@ -82,6 +83,9 @@ class RpcService:
         *re*-transmissions: ``retries=2`` means up to three attempts.
     """
 
+    __slots__ = ("socket", "events", "sim", "default_timeout", "default_retries",
+                 "_stats", "_handlers", "_pending", "_call_ids")
+
     def __init__(self, socket: RestrictedSocket, events: Events,
                  default_timeout: float = 3.0, default_retries: int = 1):
         self.socket = socket
@@ -89,7 +93,9 @@ class RpcService:
         self.sim = events.sim
         self.default_timeout = default_timeout
         self.default_retries = default_retries
-        self.stats = RpcStats()
+        # Per-instance counters materialise on first touch (services that
+        # only ever answer pings pay nothing until then).
+        self._stats: Optional[RpcStats] = None
         self._handlers: Dict[str, Callable[..., Any]] = {
             "__ping__": lambda: True,
             "__batch__": self._serve_batch,
@@ -102,6 +108,13 @@ class RpcService:
         self._call_ids = 0
         socket.listen(self._on_message)
         events.context.add_cleanup(self._cancel_pending)
+
+    @property
+    def stats(self) -> RpcStats:
+        stats = self._stats
+        if stats is None:
+            stats = self._stats = RpcStats()
+        return stats
 
     # ------------------------------------------------------------ server side
     def register(self, name: str, handler: Callable[..., Any]) -> None:
@@ -207,58 +220,25 @@ class RpcService:
             self.stats.send_failures += 1
 
     # ------------------------------------------------------------ client side
-    def call(self, dst: "Address | NodeRef | dict | str", method: str, *args: Any,
-             timeout: Optional[float] = None, retries: Optional[int] = None) -> Future:
-        """Invoke ``method(*args)`` on ``dst``; yield the returned future.
-
-        The calling coroutine resumes with the remote return value;
-        :class:`RpcTimeout` or :class:`RpcError` is raised at the yield point
-        on failure.
-        """
-        return self.a_call(dst, method, *args, timeout=timeout, retries=retries)
-
     def a_call(self, dst: "Address | NodeRef | dict | str", method: str, *args: Any,
                timeout: Optional[float] = None, retries: Optional[int] = None) -> Future:
         """Asynchronous variant of :meth:`call` (observe the future, or ignore it)."""
         timeout = timeout if timeout is not None else self.default_timeout
-        attempts_left = (retries if retries is not None else self.default_retries) + 1
+        attempts = (retries if retries is not None else self.default_retries) + 1
         self._call_ids = call_id = self._call_ids + 1
         result = Future()
         payload = {"rpc": _CALL, "id": call_id, "method": method, "args": list(args)}
-        state = {"attempts_left": attempts_left, "first": True}
-
-        def _attempt() -> None:
-            if result.done():
-                return
-            state["attempts_left"] -= 1
-            if state["first"]:
-                state["first"] = False
-            else:
-                self.stats.retries += 1
-            self.stats.calls_sent += 1
-            try:
-                self.socket.send(dst, payload, kind="rpc")
-            except SocketRestrictionError as exc:
-                self.stats.send_failures += 1
-                self._pending.pop(call_id, None)
-                result.set_exception(RpcError(f"{method} to {dst}: {exc}"))
-                return
-            timer = self.sim.schedule(timeout, _on_timeout)
-            self._pending[call_id] = (result, timer)
-
-        def _on_timeout() -> None:
-            if result.done():
-                return
-            if state["attempts_left"] > 0:
-                _attempt()
-                return
-            self.stats.timeouts += 1
-            self._pending.pop(call_id, None)
-            result.set_exception(RpcTimeout(
-                f"{method} to {dst} timed out ({timeout:g}s x {attempts_left} attempts)"))
-
-        _attempt()
+        _PendingCall(self, dst, method, payload, result,
+                     timeout, attempts, call_id).attempt()
         return result
+
+    #: ``call`` is the *synchronous* convention from the application's point
+    #: of view: the returned future is meant to be ``yield``-ed, so the
+    #: calling coroutine resumes with the remote return value (or has
+    #: :class:`RpcTimeout`/:class:`RpcError` raised at the yield point).  It
+    #: is the very same implementation as :meth:`a_call` — a forwarding
+    #: wrapper here cost a measurable slice of every RPC at 10k nodes.
+    call = a_call
 
     def batch_call(self, dst: "Address | NodeRef | dict | str",
                    calls: "list[tuple]", timeout: Optional[float] = None,
@@ -310,6 +290,64 @@ class RpcService:
     @property
     def pending_calls(self) -> int:
         return len(self._pending)
+
+
+class _PendingCall:
+    """One in-flight client call: retry/timeout state without per-call closures.
+
+    ``a_call`` used to close over a state dict and two nested functions;
+    building those per call dominated the RPC client path at 10k nodes.  A
+    slotted object with two bound-method callbacks carries the same state.
+    """
+
+    __slots__ = ("service", "dst", "method", "payload", "result", "timeout",
+                 "attempts", "attempts_left", "call_id")
+
+    def __init__(self, service: RpcService, dst: Any, method: str, payload: dict,
+                 result: Future, timeout: float, attempts: int, call_id: int):
+        self.service = service
+        self.dst = dst
+        self.method = method
+        self.payload = payload
+        self.result = result
+        self.timeout = timeout
+        self.attempts = attempts
+        self.attempts_left = attempts
+        self.call_id = call_id
+
+    def attempt(self) -> None:
+        result = self.result
+        if result._state is not _PENDING:
+            return
+        service = self.service
+        stats = service.stats
+        self.attempts_left -= 1
+        if self.attempts_left < self.attempts - 1:
+            stats.retries += 1
+        stats.calls_sent += 1
+        try:
+            service.socket.send(self.dst, self.payload, kind="rpc")
+        except SocketRestrictionError as exc:
+            stats.send_failures += 1
+            service._pending.pop(self.call_id, None)
+            result.set_exception(RpcError(f"{self.method} to {self.dst}: {exc}"))
+            return
+        timer = service.sim.schedule(self.timeout, self.on_timeout)
+        service._pending[self.call_id] = (result, timer)
+
+    def on_timeout(self) -> None:
+        result = self.result
+        if result._state is not _PENDING:
+            return
+        if self.attempts_left > 0:
+            self.attempt()
+            return
+        service = self.service
+        service.stats.timeouts += 1
+        service._pending.pop(self.call_id, None)
+        result.set_exception(RpcTimeout(
+            f"{self.method} to {self.dst} timed out "
+            f"({self.timeout:g}s x {self.attempts} attempts)"))
 
 
 def call(service: RpcService, dst: Any, method: str, *args: Any, **kwargs: Any) -> Future:

@@ -28,7 +28,7 @@ class SocketRestrictionError(Exception):
     """Raised when an operation would violate the socket policy."""
 
 
-@dataclass
+@dataclass(slots=True)
 class SocketPolicy:
     """Restrictions applied to one application instance's networking.
 
@@ -67,7 +67,7 @@ def _stricter_limit(a: Optional[int], b: Optional[int]) -> Optional[int]:
     return min(a, b)
 
 
-@dataclass
+@dataclass(slots=True)
 class SocketStats:
     """Per-instance traffic accounting, read by the sandbox and the daemon."""
 
@@ -87,6 +87,9 @@ class RestrictedSocket:
     transfers) goes through it, so the policy is enforced uniformly.
     """
 
+    __slots__ = ("network", "context", "local", "policy", "stats", "_handlers",
+                 "_listening", "_open_sockets", "_seed", "_rng", "_closed")
+
     def __init__(self, network: Network, context: AppContext, local: Address,
                  policy: Optional[SocketPolicy] = None, seed: int = 0):
         self.network = network
@@ -97,7 +100,12 @@ class RestrictedSocket:
         self._handlers: List[Callable[[Message], Any]] = []
         self._listening = False
         self._open_sockets = 0
-        self._rng = substream(seed, "sbsocket", str(local))
+        self._seed = seed
+        # The drop-rate RNG is derived on first use: a Mersenne Twister state
+        # is ~2.5 KB, and most deployments never inject local loss.  The
+        # substream depends only on (seed, local), so laziness cannot change
+        # any draw.
+        self._rng = None
         self._closed = False
 
     # ------------------------------------------------------------- listening
@@ -111,9 +119,16 @@ class RestrictedSocket:
             self._listening = True
 
     def _dispatch(self, message: Message) -> None:
-        self.stats.messages_received += 1
-        self.stats.bytes_received += message.size
-        for handler in list(self._handlers):
+        stats = self.stats
+        stats.messages_received += 1
+        stats.bytes_received += message.size
+        handlers = self._handlers
+        if len(handlers) == 1:
+            # Nearly every socket has exactly one handler (the RPC service);
+            # skip the defensive copy that guards mutation during iteration.
+            handlers[0](message)
+            return
+        for handler in list(handlers):
             handler(message)
 
     # ---------------------------------------------------------------- sending
@@ -127,7 +142,7 @@ class RestrictedSocket:
         self._enforce_budget(size)
         self.stats.messages_sent += 1
         self.stats.bytes_sent += size
-        if self.policy.drop_rate > 0 and self._rng.random() < self.policy.drop_rate:
+        if self.policy.drop_rate > 0 and self._drop_rng().random() < self.policy.drop_rate:
             # Locally injected loss (lossy-link emulation requested at deploy time).
             self.stats.messages_dropped_locally += 1
             dropped = Future(name="sbsocket.drop")
@@ -146,6 +161,12 @@ class RestrictedSocket:
         future = self.network.transfer(self.local, dst_address, nbytes)
         future.add_done_callback(lambda _f: self._release_socket())
         return future
+
+    def _drop_rng(self):
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = substream(self._seed, "sbsocket", str(self.local))
+        return rng
 
     # ----------------------------------------------------------- enforcement
     def _enforce_destination(self, dst: Address) -> None:
@@ -190,6 +211,8 @@ class RestrictedSocket:
 
 
 def _coerce_address(value: "Address | NodeRef | dict | str") -> Address:
+    if type(value) is NodeRef:
+        return value.address  # memoized; the dominant case (RPC destinations)
     if isinstance(value, Address):
         return value
     return NodeRef.coerce(value).address

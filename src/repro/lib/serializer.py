@@ -89,6 +89,16 @@ def decode(frame: bytes) -> Any:
     return loads(body.decode("utf-8"))
 
 
+#: Memoized sizes of NodeRef / Address values.  Node references repeat
+#: enormously across a run (every RPC envelope, successor list and routing
+#: table carries them), so their sizes are computed once per distinct
+#: (ip, port, id) and reused — the cached value is exactly what the walk
+#: would return.  Bounded: the table is dropped wholesale if it ever grows
+#: past the cap (distinct refs scale with nodes, not with messages).
+_REF_SIZE_CACHE: dict = {}
+_REF_SIZE_CACHE_MAX = 1 << 16
+
+
 def _approx_size(value: Any) -> int:
     """Approximate the JSON-encoded length of ``value`` without encoding it.
 
@@ -97,6 +107,10 @@ def _approx_size(value: Any) -> int:
     dominate the send path.  The estimate tracks the compact-separator JSON
     length closely (string escaping and non-ASCII expansion are ignored);
     determinism is what matters — the same value always yields the same size.
+
+    Scalar children of containers are sized inline (most leaves are strings
+    and small ints, and the recursive call per leaf was the top cost of the
+    whole send path at high node counts).
     """
     kind = type(value)
     if kind is str:
@@ -119,20 +133,60 @@ def _approx_size(value: Any) -> int:
                 else:
                     raise SerializationError(
                         f"cannot serialise dict key {type(key).__name__}: {key!r}")
-            total += len(key) + 3 + _approx_size(item)  # quotes + colon
+            item_kind = type(item)
+            if item_kind is str:
+                total += len(key) + len(item) + 5  # quotes ×2 + colon
+            elif item_kind is int:
+                total += len(key) + 3 + len(str(item))
+            elif item_kind is NodeRef:
+                # Inlined cache hit (the common envelope field); misses and
+                # unhashable ids fall back to the full walk below.
+                size = (_REF_SIZE_CACHE.get((item.ip, item.port, item.id))
+                        if type(item.id) in (int, str, type(None)) else None)
+                total += len(key) + 3 + (size if size is not None
+                                         else _approx_size(item))
+            else:
+                total += len(key) + 3 + _approx_size(item)  # quotes + colon
         return total
     if kind is list or kind is tuple:
         if not value:
             return 2
         total = 1 + len(value)
         for item in value:
-            total += _approx_size(item)
+            item_kind = type(item)
+            if item_kind is str:
+                total += len(item) + 2
+            elif item_kind is int:
+                total += len(str(item))
+            elif item_kind is NodeRef:
+                size = (_REF_SIZE_CACHE.get((item.ip, item.port, item.id))
+                        if type(item.id) in (int, str, type(None)) else None)
+                total += size if size is not None else _approx_size(item)
+            else:
+                total += _approx_size(item)
         return total
     if kind is NodeRef:
         # {"__noderef__":{"ip":...,"port":...,"id":...}}
-        return 16 + _approx_size(value.to_dict())
+        try:
+            key = (value.ip, value.port, value.id)
+            size = _REF_SIZE_CACHE.get(key)
+        except TypeError:  # unhashable id: size it directly
+            return 16 + _approx_size(value.to_dict())
+        if size is None:
+            size = 16 + _approx_size(value.to_dict())
+            if len(_REF_SIZE_CACHE) >= _REF_SIZE_CACHE_MAX:
+                _REF_SIZE_CACHE.clear()
+            _REF_SIZE_CACHE[key] = size
+        return size
     if kind is Address:
-        return 16 + _approx_size(value.to_dict())
+        key = (value.ip, value.port)
+        size = _REF_SIZE_CACHE.get(key)
+        if size is None:
+            size = 16 + _approx_size(value.to_dict())
+            if len(_REF_SIZE_CACHE) >= _REF_SIZE_CACHE_MAX:
+                _REF_SIZE_CACHE.clear()
+            _REF_SIZE_CACHE[key] = size
+        return size
     if isinstance(value, (set, frozenset)):
         return 12 + _approx_size(sorted(value, key=repr))
     # Unknown types go through the real encoder (raises SerializationError

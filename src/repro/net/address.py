@@ -34,6 +34,17 @@ class Address:
         return {"ip": self.ip, "port": self.port}
 
 
+#: Memoized Address objects for NodeRef.address.  Addresses are frozen and
+#: value-compared, so sharing one object per (ip, port) is safe; every RPC
+#: attempt resolves its destination NodeRef to an Address, and constructing
+#: a frozen dataclass per resolution was measurable at 10k nodes.  Bounded
+#: the same way as the serializer's size cache: distinct endpoints scale
+#: with nodes, not with messages, but a runaway workload drops the table
+#: wholesale rather than growing it forever.
+_ADDRESS_CACHE: dict = {}
+_ADDRESS_CACHE_MAX = 1 << 16
+
+
 @dataclass(frozen=True)
 class NodeRef:
     """A reference to a participating node, as exchanged by applications.
@@ -50,7 +61,13 @@ class NodeRef:
 
     @property
     def address(self) -> Address:
-        return Address(self.ip, self.port)
+        key = (self.ip, self.port)
+        address = _ADDRESS_CACHE.get(key)
+        if address is None:
+            if len(_ADDRESS_CACHE) >= _ADDRESS_CACHE_MAX:
+                _ADDRESS_CACHE.clear()
+            address = _ADDRESS_CACHE[key] = Address(self.ip, self.port)
+        return address
 
     def with_id(self, node_id: int) -> "NodeRef":
         """Return a copy of this reference carrying ``node_id``."""

@@ -35,8 +35,10 @@ class Transfer:
         self.remaining_bytes = float(nbytes)
         self.rate_bps = 0.0
         self.started_at = started_at
-        #: completes with the finish time (seconds) once all bytes are delivered
-        self.done: Future = Future(name=f"transfer-{self.transfer_id}")
+        #: completes with the finish time (seconds) once all bytes are delivered.
+        #: Unnamed on purpose: formatting a label per transfer was measurable
+        #: on dissemination workloads, and repr() can rebuild it on demand.
+        self.done: Future = Future()
         self.cancelled = False
 
     @property
@@ -99,21 +101,35 @@ class BandwidthModel:
         return transfer
 
     def cancel_transfer(self, transfer: Transfer) -> None:
-        """Abort an in-flight transfer (its future is cancelled)."""
+        """Abort an in-flight transfer (its future is cancelled).
+
+        The transfer is only marked here; the next :meth:`_reallocate` drops
+        all cancelled entries in one partition pass instead of an O(n)
+        ``list.remove`` per victim.
+        """
         if transfer.done.done():
             return
         self._advance_progress()
         transfer.cancelled = True
-        if transfer in self._active:
-            self._active.remove(transfer)
         transfer.done.cancel()
         self._reallocate()
 
     def cancel_host(self, ip: str) -> int:
-        """Abort every transfer with ``ip`` as source or destination (host failure)."""
-        victims = [t for t in self._active if ip in (t.src_ip, t.dst_ip)]
+        """Abort every transfer with ``ip`` as source or destination (host failure).
+
+        Single pass: victims are marked and their futures cancelled, then one
+        rate recomputation covers them all (the old per-victim
+        ``cancel_transfer`` loop recomputed rates O(victims) times).
+        """
+        victims = [t for t in self._active
+                   if not t.cancelled and (t.src_ip == ip or t.dst_ip == ip)]
+        if not victims:
+            return 0
+        self._advance_progress()
         for transfer in victims:
-            self.cancel_transfer(transfer)
+            transfer.cancelled = True
+            transfer.done.cancel()
+        self._reallocate()
         return len(victims)
 
     @property
@@ -142,13 +158,22 @@ class BandwidthModel:
             self._completion_event.cancel()
             self._completion_event = None
 
-        # Complete any transfer that has no bytes left.
-        finished = [t for t in self._active if t.remaining_bytes <= 0.0]
-        if finished:
-            for transfer in finished:
-                self._active.remove(transfer)
-                transfer.done.set_result(self.sim.now)
-                self.completed += 1
+        # One partition pass: drop cancelled entries, complete transfers with
+        # no bytes left, keep the rest (order preserved for determinism).
+        now = self.sim.now
+        live: List[Transfer] = []
+        finished: List[Transfer] = []
+        for transfer in self._active:
+            if transfer.cancelled:
+                continue
+            if transfer.remaining_bytes <= 0.0:
+                finished.append(transfer)
+            else:
+                live.append(transfer)
+        self._active = live
+        for transfer in finished:
+            transfer.done.set_result(now)
+            self.completed += 1
 
         if not self._active:
             return
@@ -177,9 +202,16 @@ class BandwidthModel:
         self._reallocate()
 
     def _max_min_fair_rates(self, transfers: List[Transfer]) -> List[float]:
-        """Classic progressive-filling max-min fair allocation over access links."""
+        """Classic progressive-filling max-min fair allocation over access links.
+
+        Each link tracks how many of its flows are still unallocated, so the
+        share loop is O(links) per round instead of rescanning every link's
+        full flow list against the unallocated set (quadratic at the flow
+        counts the dissemination workload reaches).
+        """
         links: Dict[Tuple[str, str], float] = {}
         flows_on_link: Dict[Tuple[str, str], List[int]] = {}
+        flow_links: List[Tuple[Tuple[str, str], Tuple[str, str]]] = []
         for index, transfer in enumerate(transfers):
             up_link = ("up", transfer.src_ip)
             down_link = ("down", transfer.dst_ip)
@@ -189,31 +221,36 @@ class BandwidthModel:
             links.setdefault(down_link, down)
             flows_on_link.setdefault(up_link, []).append(index)
             flows_on_link.setdefault(down_link, []).append(index)
+            flow_links.append((up_link, down_link))
 
         rates = [0.0] * len(transfers)
-        unallocated = set(range(len(transfers)))
+        allocated = [False] * len(transfers)
+        n_unallocated = len(transfers)
         remaining = dict(links)
+        pending_count = {link: len(flows) for link, flows in flows_on_link.items()}
 
-        while unallocated:
+        while n_unallocated:
             # Fair share currently offered by each link to its unallocated flows.
             best_link = None
             best_share = math.inf
             for link, capacity in remaining.items():
-                pending = [f for f in flows_on_link[link] if f in unallocated]
-                if not pending:
+                count = pending_count[link]
+                if not count:
                     continue
-                share = capacity / len(pending)
+                share = capacity / count
                 if share < best_share:
                     best_share = share
                     best_link = link
             if best_link is None:
                 break
-            bottleneck_flows = [f for f in flows_on_link[best_link] if f in unallocated]
-            for flow in bottleneck_flows:
+            for flow in flows_on_link[best_link]:
+                if allocated[flow]:
+                    continue
                 rates[flow] = best_share
-                unallocated.discard(flow)
+                allocated[flow] = True
+                n_unallocated -= 1
                 # Reduce remaining capacity on every link this flow crosses.
-                transfer = transfers[flow]
-                for link in (("up", transfer.src_ip), ("down", transfer.dst_ip)):
+                for link in flow_links[flow]:
                     remaining[link] = max(0.0, remaining[link] - best_share)
+                    pending_count[link] -= 1
         return rates

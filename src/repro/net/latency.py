@@ -102,6 +102,15 @@ class TopologyLatency(LatencyModel):
         self.topology = topology
         self.host_attachment = dict(host_attachment)
         self.local_delay = local_delay
+        # Resolved once: with a TransitStubTopology the per-source delay rows
+        # are indexed directly (one dict probe + one list index per message)
+        # instead of going through a path_delay call.  Foreign topology
+        # objects (tests, custom models) keep the method-call path.
+        self._delay_rows = getattr(topology, "_delay_cache", None)
+        self._build_row = getattr(topology, "_build_delay_row", None)
+        if self._delay_rows is None or self._build_row is None:
+            self._delay_rows = None
+            self._build_row = None
 
     def attach(self, ip: str, topology_node: int) -> None:
         """Attach (or re-attach) a host to a topology node."""
@@ -110,16 +119,26 @@ class TopologyLatency(LatencyModel):
     def one_way(self, src_ip: str, dst_ip: str) -> float:
         if src_ip == dst_ip:
             return self.local_delay
+        attachment = self.host_attachment
         try:
-            src_node = self.host_attachment[src_ip]
-            dst_node = self.host_attachment[dst_ip]
+            src_node = attachment[src_ip]
+            dst_node = attachment[dst_ip]
         except KeyError as exc:
             raise KeyError(f"host not attached to the topology: {exc}") from exc
         if src_node == dst_node:
             # Same emulated domain: the paper's ModelNet configuration uses a
             # 10 ms RTT between nodes of the same domain.
             return self.topology.intra_domain_delay
-        return self.topology.path_delay(src_node, dst_node)
+        rows = self._delay_rows
+        if rows is None:
+            return self.topology.path_delay(src_node, dst_node)
+        row = rows.get(src_node)
+        if row is None:
+            row = self._build_row(src_node)
+        delay = row[dst_node]
+        if delay != delay:  # NaN marks an unreachable node
+            raise KeyError(f"no path between topology nodes {src_node} and {dst_node}")
+        return delay
 
 
 class CompositeLatency(LatencyModel):

@@ -48,6 +48,10 @@ class LossModel:
 
     def rate_for(self, src_ip: str, dst_ip: str) -> float:
         """Effective drop probability for the pair (max of applicable rates)."""
+        # Most deployments never install per-pair or per-host rates; skip the
+        # three dict probes on every message in that case.
+        if not self._pair_rates and not self._host_rates:
+            return self.default_rate
         rate = self.default_rate
         rate = max(rate, self._pair_rates.get((src_ip, dst_ip), 0.0))
         rate = max(rate, self._host_rates.get(src_ip, 0.0), self._host_rates.get(dst_ip, 0.0))
@@ -56,7 +60,10 @@ class LossModel:
     def should_drop(self, src_ip: str, dst_ip: str) -> bool:
         """Decide (randomly but reproducibly) whether to drop one message."""
         self.evaluated += 1
-        rate = self.rate_for(src_ip, dst_ip)
+        if not self._pair_rates and not self._host_rates:
+            rate = self.default_rate
+        else:
+            rate = self.rate_for(src_ip, dst_ip)
         if rate <= 0.0:
             return False
         if rate >= 1.0 or self._rng.random() < rate:

@@ -11,7 +11,7 @@ from repro.net.address import Address
 _msg_counter = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single datagram/stream message travelling between two endpoints.
 
@@ -20,17 +20,16 @@ class Message:
     bandwidth model and host processing delays.
     """
 
+    # ``size`` must be non-negative; the network layer only builds messages
+    # from estimated or validated sizes, so there is no per-message check
+    # here (a __post_init__ hook costs one Python call per simulated message).
     src: Address
     dst: Address
     payload: Any
     size: int
     kind: str = "data"
     sent_at: float = 0.0
-    msg_id: int = field(default_factory=lambda: next(_msg_counter))
-
-    def __post_init__(self) -> None:
-        if self.size < 0:
-            raise ValueError("message size must be non-negative")
+    msg_id: int = field(default_factory=_msg_counter.__next__)
 
     def reply_to(self, payload: Any, size: int, kind: str = "reply") -> "Message":
         """Build a response message addressed back to the sender."""

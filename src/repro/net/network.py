@@ -22,7 +22,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import substream
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Counters maintained by the network (exposed to benchmarks and tests)."""
 
@@ -41,7 +41,7 @@ class NetworkStats:
             del self.last_errors[0]
 
 
-@dataclass
+@dataclass(slots=True)
 class Listener:
     """A registered message handler for one endpoint."""
 
@@ -87,7 +87,10 @@ class Network:
         self.strict = strict
         self.hosts: Dict[str, Any] = {}
         self.stats = NetworkStats()
-        self._listeners: Dict[Address, Listener] = {}
+        # Keyed by (ip, port) tuples rather than Address objects: tuple
+        # hashing/equality run in C (the IPs are interned strings, so probes
+        # are pointer compares), and this dict sits on the per-message path.
+        self._listeners: Dict[tuple, Listener] = {}
         self._rng = substream(seed if seed is not None else sim.seed, "network-jitter")
         # processing-delay hooks resolved once per host at registration time —
         # a hasattr() probe per message was measurable on the send hot path
@@ -117,8 +120,8 @@ class Network:
         self.hosts.pop(ip, None)
         self._proc_delay.pop(ip, None)
         self.bandwidth.cancel_host(ip)
-        for address in [a for a in self._listeners if a.ip == ip]:
-            del self._listeners[address]
+        for key in [k for k in self._listeners if k[0] == ip]:
+            del self._listeners[key]
 
     def host(self, ip: str) -> Any:
         return self.hosts[ip]
@@ -134,26 +137,28 @@ class Network:
     def listen(self, address: Address, handler: Callable[[Message], Any],
                context: Optional[AppContext] = None) -> Listener:
         """Register ``handler`` for messages addressed to ``address``."""
-        if address in self._listeners and self._listeners[address].alive:
+        key = (address.ip, address.port)
+        existing = self._listeners.get(key)
+        if existing is not None and existing.alive:
             raise ValueError(f"address already in use: {address}")
         listener = Listener(address=address, handler=handler, context=context)
-        self._listeners[address] = listener
+        self._listeners[key] = listener
         if context is not None:
             context.add_cleanup(lambda: self.unlisten(address))
         return listener
 
     def unlisten(self, address: Address) -> None:
-        self._listeners.pop(address, None)
+        self._listeners.pop((address.ip, address.port), None)
 
     def listener(self, address: Address) -> Optional[Listener]:
-        return self._listeners.get(address)
+        return self._listeners.get((address.ip, address.port))
 
     def is_listening(self, address: Address) -> bool:
-        listener = self._listeners.get(address)
+        listener = self._listeners.get((address.ip, address.port))
         return listener is not None and listener.alive
 
     def used_ports(self, ip: str) -> List[int]:
-        return sorted(a.port for a in self._listeners if a.ip == ip)
+        return sorted(k[1] for k in self._listeners if k[0] == ip)
 
     # ------------------------------------------------------------------ send
     def send(self, src: Address, dst: Address, payload: Any, size: int,
@@ -167,15 +172,35 @@ class Network:
         timeout bookkeeping); this mirrors datagram semantics.
         """
         outcome = Future()  # naming 250k+ futures per run was measurable
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += size
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size
 
-        if not self.host_alive(src.ip) or not self.host_alive(dst.ip):
-            self.stats.messages_dropped += 1
-            outcome.set_result(False)
-            return outcome
-        if self.loss.should_drop(src.ip, dst.ip):
-            self.stats.messages_dropped += 1
+        # Aliveness probes are inlined (self.host_alive is a method call per
+        # probe, and this path runs once per simulated message).
+        hosts = self.hosts
+        src_ip = src.ip
+        dst_ip = dst.ip
+        src_host = hosts.get(src_ip)
+        src_alive = src_host is not None and getattr(src_host, "alive", True)
+        if src_ip == dst_ip:
+            # Loopback fast path: the payload is handed to the listener by
+            # reference (never encoded) and one aliveness probe covers both
+            # endpoints.  The loss model still gets its draw so that seeded
+            # runs are unaffected by which path a message takes.
+            if not src_alive:
+                stats.messages_dropped += 1
+                outcome.set_result(False)
+                return outcome
+        else:
+            dst_host = hosts.get(dst_ip)
+            if not src_alive or dst_host is None \
+                    or not getattr(dst_host, "alive", True):
+                stats.messages_dropped += 1
+                outcome.set_result(False)
+                return outcome
+        if self.loss.should_drop(src_ip, dst_ip):
+            stats.messages_dropped += 1
             outcome.set_result(False)
             return outcome
 
@@ -186,32 +211,55 @@ class Network:
         return outcome
 
     def _message_delay(self, src: Address, dst: Address, size: int) -> float:
-        delay = self.latency.one_way(src.ip, dst.ip)
+        src_ip = src.ip
+        dst_ip = dst.ip
+        delay = self.latency.one_way(src_ip, dst_ip)
         if self.jitter:
             delay += delay * self._rng.uniform(0.0, self.jitter)
-        # Transmission time over the narrower of the two access links.
-        up, _ = self.bandwidth.capacity(src.ip)
-        _, down = self.bandwidth.capacity(dst.ip)
-        narrow = min(up, down)
+        # Transmission time over the narrower of the two access links
+        # (loopback needs a single capacity lookup: both ends are one host).
+        # Capacity probes are inlined dict lookups: this runs per message.
+        bandwidth = self.bandwidth
+        capacities = bandwidth._capacities
+        if src_ip == dst_ip:
+            entry = capacities.get(src_ip)
+            if entry is not None:
+                up, down = entry
+            else:
+                up = bandwidth.default_uplink_bps
+                down = bandwidth.default_downlink_bps
+        else:
+            entry = capacities.get(src_ip)
+            up = entry[0] if entry is not None else bandwidth.default_uplink_bps
+            entry = capacities.get(dst_ip)
+            down = entry[1] if entry is not None else bandwidth.default_downlink_bps
+        narrow = up if up < down else down
         if narrow < UNLIMITED_BPS and size > 0:
             delay += size * 8.0 / narrow
         # Receiver/sender-side processing delay (host load, swap penalty, ...).
         if self._proc_delay:
-            dst_hook = self._proc_delay.get(dst.ip)
+            dst_hook = self._proc_delay.get(dst_ip)
             if dst_hook is not None:
                 delay += max(0.0, dst_hook(size))
-            src_hook = self._proc_delay.get(src.ip)
+            src_hook = self._proc_delay.get(src_ip)
             if src_hook is not None:
                 delay += max(0.0, src_hook(size))
         return delay
 
     def _deliver(self, message: Message, outcome: Future) -> None:
-        if not self.host_alive(message.dst.ip):
+        dst = message.dst
+        host = self.hosts.get(dst.ip)
+        if host is None or not getattr(host, "alive", True):
             self.stats.messages_dropped += 1
             outcome.set_result(False)
             return
-        listener = self._listeners.get(message.dst)
-        if listener is None or not listener.alive:
+        listener = self._listeners.get((dst.ip, dst.port))
+        if listener is None:
+            self.stats.messages_dropped += 1
+            outcome.set_result(False)
+            return
+        context = listener.context
+        if context is not None and not context.alive:
             self.stats.messages_dropped += 1
             outcome.set_result(False)
             return
@@ -233,7 +281,7 @@ class Network:
         The returned future completes with the finish time when the last byte
         arrives, or is cancelled if either host fails mid-transfer.
         """
-        result = Future(name=f"transfer:{src}->{dst}")
+        result = Future()  # unnamed: transfers are hot in dissemination runs
         if not self.host_alive(src.ip) or not self.host_alive(dst.ip):
             result.cancel()
             return result

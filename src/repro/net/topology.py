@@ -56,7 +56,15 @@ class TransitStubTopology:
         self.stub_nodes: List[int] = []
         #: stub node -> transit node it hangs off
         self.stub_parent: Dict[int, int] = {}
-        self._delay_cache: Dict[int, Dict[int, float]] = {}
+        # Per-source delay rows: a flat list indexed by (contiguous) node id,
+        # with the host-access component already folded in.  Node ids are
+        # assigned densely in _build, so a list replaces the dict-of-dicts
+        # networkx returns (which retained ~15 MB at 500 topology nodes) and
+        # the hot lookup is one C-level index.  Float values repeat massively
+        # across rows (delays are sums of a handful of RTTs), so rows share
+        # float objects through ``_delay_pool``.
+        self._delay_cache: Dict[int, List[float]] = {}
+        self._delay_pool: Dict[float, float] = {}
 
         rng = substream(seed, "transit-stub")
         self._build(transit_domains, transit_nodes_per_domain,
@@ -134,13 +142,23 @@ class TransitStubTopology:
             return self.intra_domain_delay
         cache = self._delay_cache.get(src_node)
         if cache is None:
-            cache = nx.single_source_dijkstra_path_length(self.graph, src_node, weight="delay")
-            self._delay_cache[src_node] = cache
-        try:
-            base = cache[dst_node]
-        except KeyError as exc:
-            raise KeyError(f"no path between topology nodes {src_node} and {dst_node}") from exc
-        return base + self.intra_domain_delay
+            cache = self._build_delay_row(src_node)
+        delay = cache[dst_node]
+        if delay != delay:  # NaN marks an unreachable node
+            raise KeyError(f"no path between topology nodes {src_node} and {dst_node}")
+        return delay
+
+    def _build_delay_row(self, src_node: int) -> List[float]:
+        distances = nx.single_source_dijkstra_path_length(
+            self.graph, src_node, weight="delay")
+        pool = self._delay_pool
+        intra = self.intra_domain_delay
+        row = [float("nan")] * self.node_count
+        for node, base in distances.items():
+            value = base + intra
+            row[node] = pool.setdefault(value, value)
+        self._delay_cache[src_node] = row
+        return row
 
     def path_hops(self, src_node: int, dst_node: int) -> int:
         """Number of topology hops on the delay-shortest path."""

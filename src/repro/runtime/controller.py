@@ -252,8 +252,10 @@ class Controller:
                 for shard in self.shards
             ],
             "collectors": {
-                job_id: collector.status()
-                for job_id, collector in sorted(self.store.collectors.items())
+                # Collectors are created lazily on the first shipped record;
+                # the status view materialises one per job so every job shows.
+                job_id: self.store.collector(job).status()
+                for job_id, job in sorted(self.store.jobs.items())
             },
             "hosts": {
                 "registered": len(self.store.daemons),

@@ -244,17 +244,16 @@ class JobStore:
 
     # ------------------------------------------------------------------- jobs
     def create_job(self, spec: JobSpec) -> Job:
+        # The job's log collector (queue + record list) is created by
+        # :meth:`collector` on the first shipped record, not here — jobs that
+        # never log pay nothing.
         job = Job(spec, created_at=self.sim.now, job_id=len(self.jobs) + 1)
         self.jobs[job.job_id] = job
-        self.collectors[job.job_id] = LogCollector(
-            self.sim, job, max_queue=self.log_queue_depth,
-            drain_interval=self.log_drain_interval)
         return job
 
     def collector(self, job: Job) -> LogCollector:
         existing = self.collectors.get(job.job_id)
         if existing is None:
-            # Jobs built outside the store (standalone tests) still collect.
             existing = LogCollector(self.sim, job, max_queue=self.log_queue_depth,
                                     drain_interval=self.log_drain_interval)
             self.collectors[job.job_id] = existing

@@ -9,6 +9,7 @@ the original system.
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.sim.futures import Future
@@ -25,6 +26,9 @@ class AppContext:
     between churn and application code harmless.
     """
 
+    __slots__ = ("sim", "name", "alive", "_processes", "_timers", "_cleanups",
+                 "_timer_high_water", "_process_high_water")
+
     def __init__(self, sim: Simulator, name: str = "app"):
         self.sim = sim
         self.name = name
@@ -32,13 +36,15 @@ class AppContext:
         self._processes: List[Process] = []
         self._timers: List[ScheduledEvent] = []
         self._cleanups: List[Callable[[], None]] = []
-        # Compaction water marks: periodic tasks re-arm a fresh timer every
-        # firing, so without pruning these lists grow without bound over a
-        # long run (and kill() would walk millions of dead entries).  The
-        # threshold doubles with the surviving population so a context with
-        # genuinely many live timers does not re-scan on every append.
-        self._timer_high_water = 64
-        self._process_high_water = 64
+        # Compaction water marks: without pruning these lists grow without
+        # bound over a long run (and kill() would walk millions of dead
+        # entries).  The threshold doubles with the surviving population so a
+        # context with genuinely many live entries does not re-scan on every
+        # append; the floor is small because dead entries pin their objects
+        # (a process pins its whole generator frame) across every context of
+        # a 10k-node deployment.
+        self._timer_high_water = 16
+        self._process_high_water = 16
 
     # --------------------------------------------------------------- tracking
     def track_process(self, process: Process) -> Process:
@@ -48,7 +54,7 @@ class AppContext:
         self._processes.append(process)
         if len(self._processes) >= self._process_high_water:
             self._processes = [p for p in self._processes if not p.done.done()]
-            self._process_high_water = max(64, 2 * len(self._processes))
+            self._process_high_water = max(16, 2 * len(self._processes))
         return process
 
     def track_timer(self, event: ScheduledEvent) -> ScheduledEvent:
@@ -58,7 +64,7 @@ class AppContext:
         self._timers.append(event)
         if len(self._timers) >= self._timer_high_water:
             self._timers = [t for t in self._timers if t.pending]
-            self._timer_high_water = max(64, 2 * len(self._timers))
+            self._timer_high_water = max(16, 2 * len(self._timers))
         return event
 
     def add_cleanup(self, callback: Callable[[], None]) -> None:
@@ -100,6 +106,8 @@ class AppContext:
 class PeriodicTask:
     """Handle returned by :meth:`Events.periodic`; supports cancellation."""
 
+    __slots__ = ("cancelled", "_current")
+
     def __init__(self) -> None:
         self.cancelled = False
         self._current: Optional[ScheduledEvent] = None
@@ -119,10 +127,13 @@ class Events:
     main loop.  All activity is tracked on the bound :class:`AppContext`.
     """
 
+    __slots__ = ("sim", "context", "_named_waiters")
+
     def __init__(self, sim: Simulator, context: Optional[AppContext] = None):
         self.sim = sim
         self.context = context or AppContext(sim)
-        self._named_waiters: Dict[str, List[Future]] = {}
+        # Allocated on the first wait(): most instances never use named events.
+        self._named_waiters: Optional[Dict[str, List[Future]]] = None
 
     # --------------------------------------------------------------- threads
     def thread(self, fn: Callable[..., Any], *args: Any, name: str = "", delay: float = 0.0) -> Process:
@@ -149,22 +160,30 @@ class Events:
         if interval <= 0:
             raise ValueError("periodic interval must be positive")
         task = PeriodicTask()
+        name = f"{self.context.name}.periodic"
 
         def _fire() -> None:
             if task.cancelled or not self.context.alive:
                 return
-            self.thread(fn, name=f"{self.context.name}.periodic")
+            self.thread(fn, name=name)
             _arm()
 
         def _arm() -> None:
             if task.cancelled or not self.context.alive:
                 return
             delay = interval + (self.sim.rng.uniform(0.0, jitter) if jitter else 0.0)
-            task._current = self.context.track_timer(self.sim.schedule(delay, _fire))
+            task._current = self.sim.schedule(delay, _fire)
 
+        # The task is tracked once, as a cleanup; re-armed timers are NOT
+        # appended to the context's timer list.  A periodic task re-arms on
+        # every firing, so per-arm tracking grew (and re-compacted) the list
+        # forever *and* pinned a reference that kept every fired periodic
+        # timer out of the kernel's free list.  kill() still cancels the
+        # task — cancelling it cancels whichever timer is current.
         first = initial_delay if initial_delay is not None else interval
         first = first + (self.sim.rng.uniform(0.0, jitter) if jitter else 0.0)
-        task._current = self.context.track_timer(self.sim.schedule(first, _fire))
+        task._current = self.sim.schedule(first, _fire)
+        self.context.add_cleanup(task.cancel)
         return task
 
     def timer(self, delay: float, fn: Callable[[], Any]) -> ScheduledEvent:
@@ -180,6 +199,8 @@ class Events:
     # ---------------------------------------------------------- named events
     def fire(self, name: str, value: Any = None) -> int:
         """Wake every coroutine waiting on event ``name``; returns waiter count."""
+        if self._named_waiters is None:
+            return 0
         waiters = self._named_waiters.pop(name, [])
         for waiter in waiters:
             waiter.set_result(value)
@@ -188,6 +209,8 @@ class Events:
     def wait(self, name: str) -> Future:
         """Return a future completing on the next :meth:`fire` for ``name``."""
         future = Future(name=f"event:{name}")
+        if self._named_waiters is None:
+            self._named_waiters = {}
         self._named_waiters.setdefault(name, []).append(future)
         return future
 
@@ -201,7 +224,4 @@ class Events:
         self.context.kill("events.exit")
 
 
-def _is_generator_function(fn: Callable[..., Any]) -> bool:
-    import inspect
-
-    return inspect.isgeneratorfunction(fn)
+_is_generator_function = inspect.isgeneratorfunction

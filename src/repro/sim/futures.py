@@ -42,7 +42,9 @@ class Future:
         self._state = FutureState.PENDING
         self._result: Any = None
         self._exception: Optional[BaseException] = None
-        self._callbacks: List[Callable[["Future"], None]] = []
+        # Allocated on first add_done_callback: most hot-path futures (message
+        # sends, transfers) complete without ever attracting an observer.
+        self._callbacks: Optional[List[Callable[["Future"], None]]] = None
         self.name = name
 
     # --------------------------------------------------------------- queries
@@ -75,15 +77,21 @@ class Future:
     # ------------------------------------------------------------ completion
     def set_result(self, value: Any = None) -> None:
         """Complete the future successfully with ``value``."""
-        if self.done():
+        if self._state is not FutureState.PENDING:
             return
         self._state = FutureState.DONE
         self._result = value
-        self._invoke_callbacks()
+        # Callback dispatch is inlined: set_result runs once per message
+        # delivery and per process step, and most futures have no observers.
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            for callback in callbacks:
+                callback(self)
 
     def set_exception(self, exc: BaseException) -> None:
         """Complete the future with an exception."""
-        if self.done():
+        if self._state is not FutureState.PENDING:
             return
         self._state = FutureState.FAILED
         self._exception = exc
@@ -91,7 +99,7 @@ class Future:
 
     def cancel(self) -> bool:
         """Cancel the future; returns ``True`` if it was still pending."""
-        if self.done():
+        if self._state is not FutureState.PENDING:
             return False
         self._state = FutureState.CANCELLED
         self._exception = FutureCancelled(self.name or "cancelled")
@@ -101,15 +109,18 @@ class Future:
     # ------------------------------------------------------------- callbacks
     def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
         """Run ``callback(self)`` once the future completes (immediately if done)."""
-        if self.done():
+        if self._state is not FutureState.PENDING:
             callback(self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
     def _invoke_callbacks(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Future {self.name or id(self)} {self._state.value}>"

@@ -38,9 +38,16 @@ scan the whole queue on every :attr:`Simulator.pending_events` read).
 from __future__ import annotations
 
 import random
+import sys
 from collections import deque
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
+
+#: CPython-only refcount probe used by the event free-list (None elsewhere).
+_getrefcount = getattr(sys, "getrefcount", None)
+
+#: upper bound on recycled ScheduledEvent objects kept per simulator
+_FREE_LIST_MAX = 4096
 
 
 class ScheduledEvent:
@@ -145,6 +152,13 @@ class Simulator:
         self._cur_tick = 0
         self._overflow: list = []
         self._overflow_ghosts = 0
+        # Free-list of dead ScheduledEvent objects — both fired events and
+        # cancelled ones (reclaimed when their queue entry is skipped or their
+        # wheel bucket loads; RPC timeout timers are almost always cancelled
+        # by the reply, so they dominate).  Recycling only happens when the
+        # refcount proves no external handle survived, so a held event can
+        # never be mutated under its owner's feet.
+        self._free: list[ScheduledEvent] = []
 
     # ------------------------------------------------------------------ time
     @property
@@ -172,7 +186,19 @@ class Simulator:
 
     def _insert(self, when: float, callback: Callable[..., Any], args: tuple) -> ScheduledEvent:
         self._seq = seq = self._seq + 1
-        event = ScheduledEvent(when, seq, callback, args, self, self._epoch)
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = when
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.fired = False
+            event._epoch = self._epoch
+            event._overflow = False
+        else:
+            event = ScheduledEvent(when, seq, callback, args, self, self._epoch)
         self._pending += 1
         if not self._use_wheel:
             heappush(self._heap, event)
@@ -237,9 +263,17 @@ class Simulator:
         ``False`` when no events remain anywhere.
         """
         overflow = self._overflow
+        free = self._free
         while overflow and overflow[0][2].cancelled:
-            heappop(overflow)
+            event = heappop(overflow)[2]
             self._overflow_ghosts -= 1
+            # refs: the event local + getrefcount's argument (the popped entry
+            # tuple died above).  More means someone still holds the handle.
+            if _getrefcount is not None and _getrefcount(event) == 2 \
+                    and len(free) < _FREE_LIST_MAX:
+                event.callback = None
+                event.args = ()
+                free.append(event)
         target = -1
         if self._wheel_count:
             wheel = self._wheel
@@ -262,7 +296,20 @@ class Simulator:
         if bucket:
             self._wheel[slot] = []
             self._wheel_count -= len(bucket)
-            live = [entry for entry in bucket if not entry[2].cancelled]
+            live = []
+            for entry in bucket:
+                event = entry[2]
+                if not event.cancelled:
+                    live.append(entry)
+                # Cancelled-timer recycling: RPC timeout timers are cancelled
+                # by the reply long before their bucket loads, so this purge
+                # is where most dead events surface.  refs: the entry tuple +
+                # the event local + getrefcount's argument.
+                elif _getrefcount is not None and _getrefcount(event) == 3 \
+                        and len(free) < _FREE_LIST_MAX:
+                    event.callback = None
+                    event.args = ()
+                    free.append(event)
             if live:
                 cursor.extend(live)
                 heapify(cursor)
@@ -274,6 +321,11 @@ class Simulator:
                 event._overflow = False
                 if event.cancelled:
                     self._overflow_ghosts -= 1
+                    if _getrefcount is not None and _getrefcount(event) == 3 \
+                            and len(free) < _FREE_LIST_MAX:
+                        event.callback = None
+                        event.args = ()
+                        free.append(event)
                 else:
                     heappush(cursor, entry)
         return True
@@ -282,11 +334,22 @@ class Simulator:
         """Remove and return the next pending event in (time, seq) order."""
         ready = self._ready
         cursor = self._cursor
+        free = self._free
         while True:
             while ready and ready[0][2].cancelled:
-                ready.popleft()
+                event = ready.popleft()[2]
+                if _getrefcount is not None and _getrefcount(event) == 2 \
+                        and len(free) < _FREE_LIST_MAX:
+                    event.callback = None
+                    event.args = ()
+                    free.append(event)
             while cursor and cursor[0][2].cancelled:
-                heappop(cursor)
+                event = heappop(cursor)[2]
+                if _getrefcount is not None and _getrefcount(event) == 2 \
+                        and len(free) < _FREE_LIST_MAX:
+                    event.callback = None
+                    event.args = ()
+                    free.append(event)
             if ready:
                 if cursor and cursor[0] < ready[0]:
                     return heappop(cursor)[2]
@@ -305,9 +368,16 @@ class Simulator:
         """
         if not self._use_wheel:
             heap = self._heap
+            free = self._free
             while heap:
                 event = heappop(heap)
                 if event.cancelled:
+                    # refs: the event local + getrefcount's argument.
+                    if _getrefcount is not None and _getrefcount(event) == 2 \
+                            and len(free) < _FREE_LIST_MAX:
+                        event.callback = None
+                        event.args = ()
+                        free.append(event)
                     continue
                 self._execute(event)
                 return True
@@ -324,6 +394,13 @@ class Simulator:
         self._pending -= 1
         self.executed_events += 1
         event.callback(*event.args)
+        # refs here: caller's local + our parameter + getrefcount argument.
+        # Anything above 3 means an external handle survived — don't recycle.
+        if _getrefcount is not None and _getrefcount(event) == 3 \
+                and len(self._free) < _FREE_LIST_MAX:
+            event.callback = None
+            event.args = ()
+            self._free.append(event)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the event queue drains or virtual time reaches ``until``.
@@ -344,10 +421,17 @@ class Simulator:
 
     def _run_heap(self, until: Optional[float]) -> float:
         heap = self._heap
+        free = self._free
         while heap and not self._stop_requested:
             head = heap[0]
             if head.cancelled:
                 heappop(heap)
+                # refs: the head local + getrefcount's argument.
+                if _getrefcount is not None and _getrefcount(head) == 2 \
+                        and len(free) < _FREE_LIST_MAX:
+                    head.callback = None
+                    head.args = ()
+                    free.append(head)
                 continue
             if until is not None and head.time > until:
                 self._now = until
@@ -362,11 +446,22 @@ class Simulator:
     def _run_wheel(self, until: Optional[float]) -> float:
         ready = self._ready
         cursor = self._cursor
+        free = self._free
         while not self._stop_requested:
             while ready and ready[0][2].cancelled:
-                ready.popleft()
+                event = ready.popleft()[2]
+                if _getrefcount is not None and _getrefcount(event) == 2 \
+                        and len(free) < _FREE_LIST_MAX:
+                    event.callback = None
+                    event.args = ()
+                    free.append(event)
             while cursor and cursor[0][2].cancelled:
-                heappop(cursor)
+                event = heappop(cursor)[2]
+                if _getrefcount is not None and _getrefcount(event) == 2 \
+                        and len(free) < _FREE_LIST_MAX:
+                    event.callback = None
+                    event.args = ()
+                    free.append(event)
             if ready:
                 from_cursor = bool(cursor) and cursor[0] < ready[0]
                 entry = cursor[0] if from_cursor else ready[0]
@@ -392,6 +487,13 @@ class Simulator:
             self._pending -= 1
             self.executed_events += 1
             event.callback(*event.args)
+            # refs here: the popped entry tuple + the event local +
+            # getrefcount's argument.  More means an external handle exists.
+            if _getrefcount is not None and _getrefcount(event) == 3 \
+                    and len(self._free) < _FREE_LIST_MAX:
+                event.callback = None
+                event.args = ()
+                self._free.append(event)
         return self._now
 
     def run_for(self, duration: float) -> float:

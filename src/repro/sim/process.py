@@ -25,6 +25,8 @@ from types import GeneratorType
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.futures import Future, FutureState
+
+_PENDING = FutureState.PENDING
 from repro.sim.kernel import ScheduledEvent, Simulator
 
 
@@ -45,6 +47,9 @@ class Process:
     name:
         Optional label used in diagnostics.
     """
+
+    __slots__ = ("pid", "sim", "name", "_generator", "_plain_callable", "done",
+                 "_started", "_killed", "_pending_event", "_waiting_on")
 
     def __init__(self, sim: Simulator, generator: Any, name: str = ""):
         # pids come from the simulator so that two seeded simulations running
@@ -139,7 +144,7 @@ class Process:
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         self._pending_event = None
-        if self._killed or self.done.done():
+        if self._killed or self.done._state is not _PENDING:
             return
         assert self._generator is not None
         try:
@@ -159,7 +164,11 @@ class Process:
         self._handle_yield(yielded)
 
     def _handle_yield(self, yielded: Any) -> None:
-        if yielded is None:
+        if type(yielded) is Future:
+            # Fast path: blocking on an RPC reply or a delivery future is by
+            # far the most common yield in the workloads.
+            self._wait_future(yielded)
+        elif yielded is None:
             self._pending_event = self.sim.schedule(0.0, self._step, None, None)
         elif isinstance(yielded, (int, float)):
             self._pending_event = self.sim.schedule(float(yielded), self._step, None, None)

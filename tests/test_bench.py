@@ -154,3 +154,62 @@ def test_bench_cli_writes_csv_and_json(tmp_path, capsys):
     assert summary["mismatches"] == []
     out = capsys.readouterr().out
     assert "wrote" in out
+
+
+def test_run_bench_jobs_pool_matches_serial_byte_for_byte():
+    """The --jobs contract: pooled runs differ from serial only in timing."""
+    from repro.apps.scenarios import BENCH_TIMING_COLUMNS, deterministic_row_view
+
+    kwargs = dict(nodes_list=[8], churn_rates=[0.0], kernels=["wheel", "heap"],
+                  seed=3, lookups=5, micro_duration=1.0, quiet=True)
+    serial = run_bench(jobs=1, **kwargs)
+    pooled = run_bench(jobs=4, **kwargs)
+    assert [deterministic_row_view(r) for r in serial["rows"]] == \
+           [deterministic_row_view(r) for r in pooled["rows"]]
+    assert pooled["mismatches"] == []
+    assert all(r["jobs"] == 4 for r in pooled["rows"])
+    assert all(r["jobs"] == 1 for r in serial["rows"])
+    # Digests are part of the deterministic view, but assert explicitly:
+    # worker processes must reproduce the serial reports bit-for-bit.
+    serial_digests = [r["report_digest"] for r in serial["rows"]
+                      if r["row_type"] == "scenario"]
+    pooled_digests = [r["report_digest"] for r in pooled["rows"]
+                      if r["row_type"] == "scenario"]
+    assert serial_digests == pooled_digests
+    # Timing columns exist on every row (masked above, gated by --check).
+    for row in pooled["rows"]:
+        assert BENCH_TIMING_COLUMNS <= set(row)
+
+
+def test_run_scale_bench_records_peak_rss_per_cell():
+    from repro.apps.scenarios import run_scale_bench
+
+    summary = run_scale_bench(scales=[30], jobs=1, seed=3, lookups=5,
+                              quiet=True)
+    (row,) = summary["rows"]
+    assert row["row_type"] == "scale"
+    assert row["workload"] == "chord"
+    assert row["nodes"] == 30
+    assert row["virtual_time"] > 0
+    assert row["events_executed"] > 0
+    assert row["peak_rss_kb"] > 0  # measured in the cell's own fresh worker
+    assert row["report_digest"]
+    assert summary["bench"] == "scale"
+    assert summary["config"]["scales"] == [30]
+
+
+def test_check_bench_regression_gates_scale_rows_on_peak_rss():
+    base_row = {"row_type": "scale", "kernel": "wheel", "nodes": 1000,
+                "churn_rate": 0.0, "events_per_sec": 1000.0,
+                "peak_rss_kb": 100_000}
+    baseline = {"rows": [base_row]}
+    ok = {"rows": [dict(base_row, events_per_sec=950.0, peak_rss_kb=120_000)]}
+    assert check_bench_regression(ok, baseline, rss_tolerance=0.50) == []
+    bloated = {"rows": [dict(base_row, peak_rss_kb=160_000)]}
+    failures = check_bench_regression(bloated, baseline, rss_tolerance=0.50)
+    assert len(failures) == 1 and "peak RSS" in failures[0]
+    # Non-scale rows never gate on RSS (serial runs report cumulative RSS).
+    scenario_base = dict(base_row, row_type="scenario")
+    scenario_bloat = {"rows": [dict(scenario_base, peak_rss_kb=500_000)]}
+    assert check_bench_regression(scenario_bloat,
+                                  {"rows": [scenario_base]}) == []

@@ -249,3 +249,86 @@ def test_pids_are_per_simulator_and_reproducible():
     first = pids()
     second = pids()  # same process, fresh simulator: identical pid sequence
     assert first == second == [1, 2, 3, 4, 5]
+
+
+# ------------------------------------------------------------------ free list
+#: execution-order digest of the churny free-list workload below — committed
+#: so any event-recycling change that perturbs ordering fails loudly
+_FREE_LIST_ORDER_DIGEST = "73985cd4ddd3dcf9"
+
+
+def _churny_free_list_run(kernel):
+    """An RPC-shaped workload (timers mostly cancelled) that exercises the
+    event free list hard; returns the simulator and its fire-order digest."""
+    import hashlib
+
+    sim = Simulator(11, kernel=kernel)
+    rng = sim.rng
+    order = []
+
+    def noop():
+        return None
+
+    def fire(i):
+        order.append((repr(sim.now), i))
+        timer = sim.schedule(3.0, noop)       # RPC-style timeout guard
+        if rng.random() < 0.7:
+            sim.schedule(0.05, timer.cancel)  # the reply arrived: cancel it
+        sim.schedule(rng.random(), fire, i)   # next round
+
+    for i in range(20):
+        sim.schedule(rng.random(), fire, i)
+    sim.run(until=30.0)
+    digest = hashlib.sha256(repr(order).encode()).hexdigest()[:16]
+    return sim, digest
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_free_list_recycling_preserves_event_order(kernel):
+    sim, digest = _churny_free_list_run(kernel)
+    assert digest == _FREE_LIST_ORDER_DIGEST
+    # The free list actually recycled: executed far more events than live
+    # ScheduledEvent objects, and the list holds returned carcasses.
+    assert sim.executed_events > 2000
+    assert len(sim._free) > 0
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_free_list_never_recycles_externally_held_events(kernel):
+    sim = Simulator(3, kernel=kernel)
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "kept")
+    sim.schedule(2.0, fired.append, "later")
+    sim.run()
+    assert fired == ["kept", "later"]
+    # We still hold ``handle``, so the refcount guard must have skipped it:
+    # its identity (callback cleared = recycled) is intact and it is not on
+    # the free list awaiting reuse.
+    assert handle.fired
+    assert handle.callback is not None
+    assert all(ev is not handle for ev in sim._free)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_free_list_recycles_unreferenced_cancelled_events(kernel):
+    # Cancelled timers whose handles are dropped (the RPC pattern: the reply
+    # cancels the timeout timer and forgets it) must be reclaimed when the
+    # kernel skips over their queue entries — not only executed events.
+    sim = Simulator(7, kernel=kernel)
+    for _ in range(50):
+        sim.schedule(1.0, lambda: None).cancel()
+    sim.schedule(2.0, lambda: None)  # something to run past the carcasses
+    sim.run()
+    # 50 cancelled + 1 fired event went through; nothing external holds them.
+    assert len(sim._free) == 51
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_free_list_never_recycles_held_cancelled_events(kernel):
+    sim = Simulator(7, kernel=kernel)
+    held = sim.schedule(1.0, lambda: None)
+    held.cancel()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert held.cancelled
+    assert all(ev is not held for ev in sim._free)

@@ -72,3 +72,43 @@ def test_gen_availability_trace_defaults_reproduce_the_bundled_file(tmp_path, ca
     status = gen.main(["--out", str(out)])
     assert status == 0
     assert out.read_text() == (_REPO / "traces" / "synthetic_overnet.trace").read_text()
+
+
+def _write_scale_csv(path):
+    from repro.apps.scenarios import BENCH_CSV_COLUMNS, write_bench_csv
+
+    rows = [
+        {"row_type": "kernel", "kernel": "wheel", "nodes": 50},  # skipped
+        {"row_type": "scale", "workload": "chord", "kernel": "wheel",
+         "nodes": 1000, "hosts": 500, "events_executed": 500000,
+         "events_per_sec": 50000.0, "wall_sec": 10.0, "peak_rss_kb": 200000},
+        {"row_type": "scale", "workload": "chord", "kernel": "wheel",
+         "nodes": 5000, "hosts": 2500, "events_executed": 2500000,
+         "events_per_sec": 45000.0, "wall_sec": 55.0, "peak_rss_kb": 800000},
+    ]
+    write_bench_csv(str(path), rows)
+    assert BENCH_CSV_COLUMNS[0] == "row_type"
+
+
+def test_plot_scale_reads_only_scale_rows_and_derives_ratios(tmp_path, capsys):
+    plot_scale = _load("plot_scale")
+    csv_path = tmp_path / "bench_scale.csv"
+    _write_scale_csv(csv_path)
+    rows = plot_scale.read_scale_rows(str(csv_path))
+    assert [int(r["nodes"]) for r in rows] == [1000, 5000]
+    status = plot_scale.main([str(csv_path)])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "1000" in out and "5000" in out
+    # 200000/1000 = 200 KB/node at 1k; 800000/5000 = 160 KB/node at 5k
+    assert "KB-per-node ratio: 0.80x" in out
+    assert "events/sec ratio: 0.90x" in out
+
+
+def test_plot_scale_rejects_csv_without_scale_rows(tmp_path, capsys):
+    plot_scale = _load("plot_scale")
+    csv_path = tmp_path / "empty.csv"
+    csv_path.write_text("row_type,nodes\nkernel,50\n")
+    status = plot_scale.main([str(csv_path)])
+    assert status == 2
+    assert "no scale rows" in capsys.readouterr().err

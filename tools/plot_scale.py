@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Summarise a ``bench --scale`` CSV: per-size table + scaling ratios.
+
+The scale profile (``scenarios bench --scale``) runs Chord at growing
+deployment sizes with fixed windows and records throughput and per-cell
+peak RSS.  This script renders the committed or freshly-swept CSV as a
+terminal table and derives the two numbers that matter for "does it
+scale": how events/sec and KB-per-node move as the deployment grows.
+
+    python tools/plot_scale.py bench_scale.csv
+
+No dependencies beyond the stdlib — it runs on the bare CI image.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import List, Optional
+
+
+def read_scale_rows(path: str) -> List[dict]:
+    """Read the ``scale`` rows of a bench CSV (other row types are skipped)."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        rows = list(csv.DictReader(handle))
+    if not rows or "row_type" not in rows[0]:
+        raise ValueError(f"{path}: expected a 'scenarios bench' CSV header")
+    scale = [r for r in rows if r["row_type"] == "scale"]
+    if not scale:
+        raise ValueError(f"{path}: no scale rows (generate with bench --scale)")
+    return sorted(scale, key=lambda r: int(r["nodes"]))
+
+
+def format_table(rows: List[dict]) -> str:
+    """The per-size table plus throughput/memory scaling ratios."""
+    lines = [f"{'nodes':>7} {'hosts':>6} {'events':>10} {'ev/s':>9} "
+             f"{'wall_s':>8} {'peak_rss_kb':>12} {'kb/node':>8}"]
+    for row in rows:
+        nodes = int(row["nodes"])
+        rss = int(float(row["peak_rss_kb"] or 0))
+        lines.append(
+            f"{nodes:>7} {row['hosts']:>6} {row['events_executed']:>10} "
+            f"{float(row['events_per_sec']):>9.0f} "
+            f"{float(row['wall_sec']):>8.1f} {rss:>12} "
+            f"{rss / nodes:>8.1f}")
+    if len(rows) > 1:
+        first, last = rows[0], rows[-1]
+        growth = int(last["nodes"]) / int(first["nodes"])
+        ev_ratio = (float(last["events_per_sec"])
+                    / float(first["events_per_sec"]))
+        first_rss = float(first["peak_rss_kb"] or 0)
+        last_rss = float(last["peak_rss_kb"] or 0)
+        lines.append("")
+        lines.append(f"scaling {first['nodes']} -> {last['nodes']} nodes "
+                     f"({growth:.0f}x):")
+        lines.append(f"  events/sec ratio: {ev_ratio:.2f}x "
+                     f"(1.00x = size-independent throughput)")
+        if first_rss > 0:
+            per_node_ratio = ((last_rss / int(last["nodes"]))
+                              / (first_rss / int(first["nodes"])))
+            lines.append(f"  KB-per-node ratio: {per_node_ratio:.2f}x "
+                         f"(<= 1.00x = no per-node overhead growth)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarise a 'scenarios bench --scale' CSV")
+    parser.add_argument("csv", help="bench_scale.csv (or any bench CSV "
+                                    "containing scale rows)")
+    args = parser.parse_args(argv)
+    try:
+        rows = read_scale_rows(args.csv)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_table(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
