@@ -1,0 +1,168 @@
+"""Driver and command line of the determinism linter.
+
+``python -m repro.analysis [paths...]`` analyses ``src/repro`` by default,
+applies per-line ``# det: ignore[...]`` suppressions and the committed
+``analysis_baseline.txt``, prints new findings and exits non-zero when any
+remain.  ``--check`` is the CI mode: it additionally fails on *stale*
+baseline entries so the baseline only ever shrinks.  ``--write-baseline``
+accepts the current findings as the new baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis import suppress
+from repro.analysis.registry import all_rules, applicable_rules
+from repro.analysis.report import AnalysisResult, Finding, render_json, render_text
+
+DEFAULT_BASELINE = "analysis_baseline.txt"
+DEFAULT_TARGET = os.path.join("src", "repro")
+
+
+def _norm(path: str) -> str:
+    """Stable, baseline-friendly path: relative to cwd, forward slashes."""
+    rel = os.path.relpath(path)
+    if rel.startswith(".."):
+        rel = path  # outside the tree: keep it absolute rather than ../../
+    return rel.replace(os.sep, "/")
+
+
+def discover_files(paths: List[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d != "__pycache__" and not d.startswith("."))
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            files.append(path)
+    return sorted(dict.fromkeys(_norm(f) for f in files))
+
+
+def analyse_source(path: str, source: str) -> List[Finding]:
+    """Run every applicable rule over one file's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(rule_id="DET000", path=path,
+                        line=exc.lineno or 1, col=exc.offset or 0,
+                        message=f"syntax error: {exc.msg}",
+                        fixit="fix the syntax error so the file can be analysed",
+                        source_line="")]
+    lines = source.splitlines()
+    findings: List[Finding] = []
+    for rule in applicable_rules(path):
+        checker = rule.checker(path, lines)
+        checker.visit(tree)
+        findings.extend(checker.findings)
+    suppressions = suppress.parse_suppressions(source)
+    for finding in findings:
+        finding.suppressed = suppress.is_suppressed(finding, suppressions)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def run_analysis(paths: List[str],
+                 baseline_text: Optional[str] = None) -> AnalysisResult:
+    """Analyse ``paths`` and apply the baseline; the library entry point."""
+    result = AnalysisResult()
+    for path in discover_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"warning: cannot read {path}: {exc}", file=sys.stderr)
+            continue
+        result.files_analysed += 1
+        result.findings.extend(analyse_source(path, source))
+    result.stale_baseline = suppress.apply_baseline(
+        result.findings, suppress.load_baseline(baseline_text))
+    return result
+
+
+def _list_rules() -> str:
+    lines = ["rule     name                  scope"]
+    for rule in all_rules():
+        scope = ",".join(rule.scope) if rule.scope else "(all analysed files)"
+        lines.append(f"{rule.id}   {rule.name:<21} {scope}")
+        lines.append(f"         {rule.summary}")
+        lines.append(f"         fix: {rule.fixit}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism linter: flags the nondeterminism hazard "
+                    "classes that have actually bitten this simulator "
+                    "(module-global RNG, wall clocks, set ordering, "
+                    "class-level state, environment reads).")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help=f"files/directories to analyse "
+                             f"(default: {DEFAULT_TARGET})")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+                        help="baseline of accepted findings "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept current findings: rewrite the baseline "
+                             "and exit 0")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: also fail on stale baseline entries")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print suppressed and baseline-masked "
+                             "findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every rule and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    paths = args.paths or [DEFAULT_TARGET]
+    baseline_text: Optional[str] = None
+    if not args.no_baseline and not args.write_baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline_text = handle.read()
+        except FileNotFoundError:
+            baseline_text = None
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        result = run_analysis(paths, baseline_text)
+    except ValueError as exc:  # malformed baseline
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            handle.write(suppress.render_baseline(result.findings))
+        accepted = sum(1 for f in result.findings if not f.suppressed)
+        print(f"wrote {accepted} accepted finding(s) to {args.baseline}")
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+
+    if result.active_findings:
+        return 1
+    if args.check and result.stale_baseline:
+        return 1
+    return 0

@@ -456,7 +456,8 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
                        probe_interval: float = 2.0, kernel: str = "wheel",
                        duration: str = "full", ctl_shards: int = 1,
                        testbed: str = "transit-stub",
-                       churn_trace: Optional[str] = None) -> dict:
+                       churn_trace: Optional[str] = None,
+                       sanitize: bool = False) -> dict:
     """Run the flagship Chord-under-churn scenario and return the report dict.
 
     ``join_window`` and ``settle`` default to values scaled with the ring
@@ -480,7 +481,8 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
         "chord", chord_factory(), nodes=nodes, hosts=hosts, seed=seed,
         kernel=kernel, churn_script=script, churn_trace=churn_trace,
         testbed=testbed, options={"bits": bits},
-        join_window=join_window, settle=settle, ctl_shards=ctl_shards)
+        join_window=join_window, settle=settle, ctl_shards=ctl_shards,
+        sanitize=sanitize)
     sim, job = deployment.sim, deployment.job
 
     def _owner(job, key):

@@ -241,7 +241,8 @@ def run_dissemination_scenario(nodes: int = 50, hosts: Optional[int] = None,
                                duration: str = "full",
                                ctl_shards: int = 1,
                                testbed: str = "transit-stub",
-                               churn_trace: Optional[str] = None) -> dict:
+                               churn_trace: Optional[str] = None,
+                               sanitize: bool = False) -> dict:
     """Run the chunk-swarming workload and return the report dict.
 
     Every non-seed node is one measured operation: its latency is the time
@@ -259,7 +260,8 @@ def run_dissemination_scenario(nodes: int = 50, hosts: Optional[int] = None,
         "dissemination", swarm_factory(), nodes=nodes, hosts=hosts, seed=seed,
         kernel=kernel, churn_script=script, churn_trace=churn_trace,
         testbed=testbed, options={"chunks": chunks, "chunk_size": chunk_size},
-        join_window=join_window, settle=settle, ctl_shards=ctl_shards)
+        join_window=join_window, settle=settle, ctl_shards=ctl_shards,
+        sanitize=sanitize)
     sim, job = deployment.sim, deployment.job
 
     horizon = deployment.measure_start + max(120.0, 0.02 * chunks * nodes)

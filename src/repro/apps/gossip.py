@@ -278,7 +278,8 @@ def run_gossip_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
                         settle: Optional[float] = None, kernel: str = "wheel",
                         duration: str = "full", ctl_shards: int = 1,
                         testbed: str = "transit-stub",
-                        churn_trace: Optional[str] = None) -> dict:
+                        churn_trace: Optional[str] = None,
+                        sanitize: bool = False) -> dict:
     """Run the epidemic-broadcast workload and return the report dict.
 
     ``broadcasts`` messages are published from random live nodes once churn
@@ -298,7 +299,8 @@ def run_gossip_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
         "gossip", gossip_factory(), nodes=nodes, hosts=hosts, seed=seed,
         kernel=kernel, churn_script=script, churn_trace=churn_trace,
         testbed=testbed, options={"fanout": fanout, "view_size": view_size},
-        join_window=join_window, settle=settle, ctl_shards=ctl_shards)
+        join_window=join_window, settle=settle, ctl_shards=ctl_shards,
+        sanitize=sanitize)
     sim, job = deployment.sim, deployment.job
 
     published: List[Tuple[str, float]] = []

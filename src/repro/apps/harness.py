@@ -138,7 +138,7 @@ def summarise(results: List[OpResult]) -> dict:
 #: the default-testbed digest is unchanged from the pre-testbeds era (the
 #: environment's *effects* still show up in every digest-relevant section)
 DIGEST_EXCLUDED_KEYS = frozenset({"kernel", "ctl_shards", "control_plane",
-                                  "testbed"})
+                                  "testbed", "sanitizer"})
 
 
 def report_digest(report: dict) -> str:
@@ -200,6 +200,8 @@ class Deployment:
     churn_end: float
     #: when the measured workload may start (churn_end + settle)
     measure_start: float
+    #: runtime sanitizer (``--sanitize``), or ``None`` when disabled
+    sanitizer: Optional[object] = None
 
 
 def scaled_windows(nodes: int, join_window: Optional[float],
@@ -232,7 +234,8 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
            churn_trace: Optional[str] = None, testbed: str = "transit-stub",
            options: Optional[dict] = None, base_port: int = 20000,
            join_window: float = 60.0, settle: float = 90.0,
-           warmup_grace: float = 60.0, ctl_shards: int = 1) -> Deployment:
+           warmup_grace: float = 60.0, ctl_shards: int = 1,
+           sanitize: bool = False) -> Deployment:
     """Build the substrate, register daemons, submit and start the job.
 
     ``testbed`` names the environment preset (:mod:`repro.testbeds`) the
@@ -245,15 +248,23 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
     availability trace as host-level fail/recover churn (both may be given).
     ``ctl_shards`` selects how many controller front-ends share the job
     store (the paper's several-splayctl deployment); workload results are
-    identical for any value.
+    identical for any value.  ``sanitize`` installs the runtime sanitizer
+    (:mod:`repro.sim.sanitizer`): observation-only invariant checks whose
+    findings land in the report's digest-excluded ``sanitizer`` section.
     """
     sim = Simulator(seed, kernel=kernel)
+    sanitizer = None
+    if sanitize:
+        from repro.sim.sanitizer import Sanitizer
+        sanitizer = Sanitizer(sim).install()
     testbed_spec = get_testbed(testbed)
     host_count = hosts if hosts is not None else testbed_spec.default_hosts(nodes)
     ips = host_ips(host_count)
 
     built = testbed_spec.build(sim, ips, seed)
     network = built.network
+    if sanitizer is not None:
+        sanitizer.watch_network(network)
 
     controller = Controller(sim, network, seed=seed, shards=ctl_shards)
     slots = max(2, math.ceil(nodes / host_count) + 2)
@@ -289,7 +300,7 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
                       testbed_description=built.description,
                       join_window=join_window, settle=settle,
                       warmup_end=warmup_end, churn_end=churn_end,
-                      measure_start=churn_end + settle)
+                      measure_start=churn_end + settle, sanitizer=sanitizer)
 
 
 # -------------------------------------------------------------------- drivers
@@ -381,6 +392,10 @@ def base_report(scenario: str, deployment: Deployment, bits: Optional[int] = Non
         "log_records_dropped": job.stats.log_records_dropped,
         "control_plane": controller.control_plane_status(),
     }
+    if deployment.sanitizer is not None:
+        # Digest-excluded (like kernel/control_plane): the sanitizer reports
+        # on execution mechanics, and turning it on must not change results.
+        report["sanitizer"] = deployment.sanitizer.summary()
     churn_manager = controller.churn_managers.get(job.job_id)
     if churn_manager is not None:
         stats = churn_manager.stats

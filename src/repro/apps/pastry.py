@@ -505,7 +505,8 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
                         probe_interval: float = 2.0, kernel: str = "wheel",
                         duration: str = "full", ctl_shards: int = 1,
                         testbed: str = "transit-stub",
-                        churn_trace: Optional[str] = None) -> dict:
+                        churn_trace: Optional[str] = None,
+                        sanitize: bool = False) -> dict:
     """Run Pastry under (optional) churn and return the report dict."""
     from repro.apps import harness
     from repro.sim.process import Process
@@ -518,7 +519,8 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
         "pastry", pastry_factory(), nodes=nodes, hosts=hosts, seed=seed,
         kernel=kernel, churn_script=script, churn_trace=churn_trace,
         testbed=testbed, options={"bits": bits, "base_bits": base_bits},
-        join_window=join_window, settle=settle, ctl_shards=ctl_shards)
+        join_window=join_window, settle=settle, ctl_shards=ctl_shards,
+        sanitize=sanitize)
     sim, job = deployment.sim, deployment.job
 
     def _owner(job, key):

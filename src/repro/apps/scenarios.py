@@ -251,9 +251,9 @@ def _kernel_timer_churn(kernel: str, nodes: int, duration: float = 60.0,
 
         for index in range(nodes):
             sim.schedule(rng.random(), rpc_fire, index)
-        start = time.perf_counter()
+        start = time.perf_counter()  # det: ignore[DET102] -- bench wall timing
         sim.run(until=duration)
-        wall = min(wall, time.perf_counter() - start)
+        wall = min(wall, time.perf_counter() - start)  # det: ignore[DET102] -- bench wall timing
     return {
         "row_type": "kernel",
         "workload": "",
@@ -326,9 +326,9 @@ def _bench_task_row(task: dict) -> dict:
                                   duration=task["duration"])
     else:
         spec = registry.get_spec(task["workload"])
-        start = time.perf_counter()
+        start = time.perf_counter()  # det: ignore[DET102] -- bench wall timing
         report = spec.runner(**task["runner_kwargs"])
-        wall = time.perf_counter() - start
+        wall = time.perf_counter() - start  # det: ignore[DET102] -- bench wall timing
         row = _bench_scenario_row(spec, task["kernel"], task["nodes"],
                                   task["churn_rate"], task["seed"], report, wall)
         if kind == "scale":
@@ -374,7 +374,7 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
               workload: str = "chord",
               hosts_list: Optional[List[Optional[int]]] = None,
               ctl_shards: int = 1, testbed: str = "transit-stub",
-              seeds: int = 1, jobs: int = 1) -> dict:
+              seeds: int = 1, jobs: int = 1, sanitize: bool = False) -> dict:
     """Sweep the scenario grid and the kernel microbenchmark; return the summary.
 
     For every ``(nodes, hosts, churn_rate)`` cell the scenario runs once per
@@ -419,7 +419,8 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
                     for offset in range(seeds):
                         kwargs = dict(nodes=nodes, hosts=hosts, seed=seed + offset,
                                       churn_script=script, kernel=kernel,
-                                      ctl_shards=ctl_shards, testbed=testbed)
+                                      ctl_shards=ctl_shards, testbed=testbed,
+                                      sanitize=sanitize)
                         if spec.ops_param is not None:
                             kwargs[spec.ops_param] = lookups
                         tasks.append({"kind": "scenario", "workload": workload,
@@ -485,6 +486,7 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
             "jobs": jobs,
             "lookups": lookups,
             "micro_duration": micro_duration,
+            "sanitize": sanitize,
         },
         "rows": rows,
         "speedups": _bench_speedups(rows),
@@ -674,6 +676,11 @@ def _add_common_arguments(parser: argparse.ArgumentParser,
     parser.add_argument("--ctl-shards", type=int, default=1, metavar="N",
                         help="controller front-ends sharing the job store "
                              "(results are identical for any N >= 1)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="enable runtime invariant checks (clock "
+                             "monotonicity, free-list integrity, future "
+                             "legality, listener/bandwidth consistency); "
+                             "observation-only, results are identical")
     parser.add_argument("--cdf", type=str, default=None, metavar="PATH",
                         help="write the measured latency CDF as "
                              "(latency_ms, fraction) CSV to PATH")
@@ -713,10 +720,20 @@ def _run_scenario_cli(spec: registry.ScenarioSpec, args: argparse.Namespace) -> 
                   testbed=args.testbed,
                   join_window=args.join_window, settle=args.settle,
                   kernel=args.kernel, duration=args.duration,
-                  ctl_shards=args.ctl_shards)
+                  ctl_shards=args.ctl_shards, sanitize=args.sanitize)
     kwargs.update(spec.make_kwargs(args))
     report = spec.runner(**kwargs)
     _print_report(report, spec)
+    if args.sanitize:
+        sanitizer = report.get("sanitizer") or {}
+        count = sanitizer.get("violations", 0)
+        print(f"sanitizer: {count} violation(s)"
+              + (f" {sanitizer.get('by_kind')}" if count else ""))
+        for line in sanitizer.get("reports", []):
+            print(f"  {line}", file=sys.stderr)
+        if count:
+            print("FAIL: sanitizer recorded invariant violations", file=sys.stderr)
+            return 2
     if args.cdf:
         samples = report.get("cdf_samples_ms", [])
         if samples:
@@ -799,6 +816,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--rss-tolerance", type=float, default=0.50,
                        help="allowed fractional peak-RSS growth for --check "
                             "of scale rows")
+    bench.add_argument("--sanitize", action="store_true",
+                       help="run every scenario cell with the runtime "
+                            "sanitizer enabled (measures its overhead; "
+                            "digests are unchanged)")
     bench.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
     args = parser.parse_args(argv)
@@ -822,7 +843,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 hosts_list=args.hosts_list,
                                 ctl_shards=args.ctl_shards,
                                 testbed=args.testbed, seeds=args.seeds,
-                                jobs=args.jobs)
+                                jobs=args.jobs, sanitize=args.sanitize)
         write_bench_csv(csv_path, summary["rows"])
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)

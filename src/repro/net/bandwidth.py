@@ -72,6 +72,8 @@ class BandwidthModel:
         self._transfer_ids = 0
         #: completed transfer count (for stats/tests)
         self.completed = 0
+        #: runtime sanitizer (repro.sim.sanitizer) or None
+        self._san: Optional[object] = None
 
     # ------------------------------------------------------------- capacities
     def set_capacity(self, ip: str, uplink_bps: Optional[float], downlink_bps: Optional[float]) -> None:
@@ -181,6 +183,8 @@ class BandwidthModel:
         rates = self._max_min_fair_rates(self._active)
         for transfer, rate in zip(self._active, rates):
             transfer.rate_bps = rate
+        if self._san is not None:
+            self._san.check_flow_conservation(self)
 
         # Progressive filling can legitimately leave a flow at rate 0 (e.g. a
         # shared uplink exhausted by a downlink-bottlenecked flow, or float

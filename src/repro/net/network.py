@@ -95,6 +95,8 @@ class Network:
         # processing-delay hooks resolved once per host at registration time —
         # a hasattr() probe per message was measurable on the send hot path
         self._proc_delay: Dict[str, Any] = {}
+        #: runtime sanitizer (repro.sim.sanitizer) or None
+        self._san: Optional[Any] = None
 
     # ----------------------------------------------------------------- hosts
     def add_host(self, host: Any) -> None:
@@ -122,6 +124,8 @@ class Network:
         self.bandwidth.cancel_host(ip)
         for key in [k for k in self._listeners if k[0] == ip]:
             del self._listeners[key]
+        if self._san is not None:
+            self._san.check_listener_table(self)
 
     def host(self, ip: str) -> Any:
         return self.hosts[ip]

@@ -10,6 +10,15 @@ from __future__ import annotations
 import enum
 from typing import Any, Callable, Iterable, List, Optional
 
+#: runtime-sanitizer hook called as ``hook(future, operation)`` when a
+#: completion method is invoked on an already-completed future.  Module-global
+#: because futures carry no simulator reference; installed/cleared by
+#: :class:`repro.sim.sanitizer.Sanitizer`.  It lives inside the already-rare
+#: non-PENDING early-return branches, so the completion hot path is untouched.
+#: ``cancel()`` on a done future is deliberately exempt: it is a documented
+#: query-style no-op (returns False) used by cleanup paths.
+_misuse_hook: Optional[Callable[["Future", str], None]] = None
+
 
 class SimTimeoutError(Exception):
     """Raised (or reported) when an operation exceeds its timeout."""
@@ -78,6 +87,8 @@ class Future:
     def set_result(self, value: Any = None) -> None:
         """Complete the future successfully with ``value``."""
         if self._state is not FutureState.PENDING:
+            if _misuse_hook is not None:
+                _misuse_hook(self, "set_result")
             return
         self._state = FutureState.DONE
         self._result = value
@@ -92,6 +103,8 @@ class Future:
     def set_exception(self, exc: BaseException) -> None:
         """Complete the future with an exception."""
         if self._state is not FutureState.PENDING:
+            if _misuse_hook is not None:
+                _misuse_hook(self, "set_exception")
             return
         self._state = FutureState.FAILED
         self._exception = exc

@@ -60,7 +60,7 @@ class ScheduledEvent:
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired",
-                 "_sim", "_epoch", "_overflow")
+                 "origin", "_sim", "_epoch", "_overflow")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple,
                  sim: Optional["Simulator"] = None, epoch: int = 0):
@@ -70,6 +70,9 @@ class ScheduledEvent:
         self.args = args
         self.cancelled = False
         self.fired = False
+        #: provenance string ("who scheduled this"), stamped only when a
+        #: sanitizer is installed (repro.sim.sanitizer); None otherwise
+        self.origin = None
         self._sim = sim
         self._epoch = epoch
         self._overflow = False
@@ -159,6 +162,9 @@ class Simulator:
         # refcount proves no external handle survived, so a held event can
         # never be mutated under its owner's feet.
         self._free: list[ScheduledEvent] = []
+        #: runtime sanitizer (repro.sim.sanitizer.Sanitizer) or None; the
+        #: hot paths pay a single pointer test when disabled
+        self._san = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -187,8 +193,11 @@ class Simulator:
     def _insert(self, when: float, callback: Callable[..., Any], args: tuple) -> ScheduledEvent:
         self._seq = seq = self._seq + 1
         free = self._free
+        san = self._san
         if free:
             event = free.pop()
+            if san is not None:
+                san.check_recycled(event)
             event.time = when
             event.seq = seq
             event.callback = callback
@@ -199,6 +208,8 @@ class Simulator:
             event._overflow = False
         else:
             event = ScheduledEvent(when, seq, callback, args, self, self._epoch)
+        if san is not None:
+            san.note_scheduled(event)
         self._pending += 1
         if not self._use_wheel:
             heappush(self._heap, event)
@@ -389,6 +400,8 @@ class Simulator:
         return True
 
     def _execute(self, event: ScheduledEvent) -> None:
+        if self._san is not None:
+            self._san.before_execute(event)
         self._now = event.time
         event.fired = True
         self._pending -= 1
@@ -482,6 +495,8 @@ class Simulator:
             else:
                 ready.popleft()
             event = entry[2]
+            if self._san is not None:
+                self._san.before_execute(event)
             self._now = entry[0]
             event.fired = True
             self._pending -= 1

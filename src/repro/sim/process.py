@@ -131,18 +131,30 @@ class Process:
             try:
                 result = self._plain_callable()
             except Exception as exc:  # noqa: BLE001 - propagate via the future
-                self.done.set_exception(exc)
+                if self.done._state is _PENDING:
+                    self.done.set_exception(exc)
                 return
             if isinstance(result, GeneratorType):
                 # A callable returning a generator is treated as a coroutine.
                 self._generator = result
                 self._step(None, None)
                 return
-            self.done.set_result(result)
+            # The callable may have killed its own context (events.exit), in
+            # which case ``done`` is already cancelled — don't complete it.
+            if self.done._state is _PENDING:
+                self.done.set_result(result)
             return
         self._step(None, None)
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        san = self.sim._san
+        if san is not None:
+            pending = self._pending_event
+            # The armed step event is marked fired before its callback runs,
+            # so a still-pending event here means a second resumption path
+            # (not the one that armed it) is driving the coroutine.
+            if pending is not None and not pending.fired and not pending.cancelled:
+                san.double_step(self, pending)
         self._pending_event = None
         if self._killed or self.done._state is not _PENDING:
             return
@@ -153,13 +165,18 @@ class Process:
             else:
                 yielded = self._generator.send(value)
         except StopIteration as stop:
-            self.done.set_result(getattr(stop, "value", None))
+            # A coroutine that killed itself (events.exit) returns here with
+            # ``done`` already cancelled; completing it again would be the
+            # exact double-completion the sanitizer flags.
+            if self.done._state is _PENDING:
+                self.done.set_result(getattr(stop, "value", None))
             return
         except ProcessKilled:
             self.done.cancel()
             return
         except Exception as error:  # noqa: BLE001 - propagate via the future
-            self.done.set_exception(error)
+            if self.done._state is _PENDING:
+                self.done.set_exception(error)
             return
         self._handle_yield(yielded)
 

@@ -1,0 +1,249 @@
+"""Opt-in runtime sanitizer: invariant checks at the simulator's seams.
+
+The static linter (:mod:`repro.analysis`) catches the hazard classes visible
+in source; this module asserts the invariants only visible at runtime.  When
+enabled (``--sanitize`` on every scenario, or :meth:`Sanitizer.install`
+directly), cheap observation-only checks run on the hot path:
+
+* **monotonic clock** -- no event executes at a virtual time before ``now``;
+* **free-list integrity** -- a recycled :class:`ScheduledEvent` must be dead
+  and scrubbed when it leaves the free list (guards the refcount-gated
+  recycling of fired *and* cancelled events);
+* **future legality** -- ``set_result`` / ``set_exception`` on an
+  already-completed :class:`~repro.sim.futures.Future` (pending -> done is
+  the only legal transition; ``cancel`` on a done future is a documented
+  query-style no-op and not reported);
+* **process single-step** -- a coroutine must only be resumed by the step
+  event it armed (a second resumption path racing it is the aliasing
+  symptom the free-list guards exist to prevent);
+* **listener-table consistency** -- after a host is removed, no listener
+  entry may keep routing messages to its endpoints;
+* **bandwidth-flow conservation** -- the max-min allocation never hands a
+  link more rate than its capacity.
+
+Violations are *recorded*, never repaired, and carry event provenance
+(which callback -- and thereby which process or timer -- scheduled the
+offending event).  The sanitizer is observation-only by construction: it
+draws no randomness, schedules nothing and mutates no simulation state, so
+a clean run's report digest is byte-identical with the sanitizer on or off
+(asserted in tests).  ``strict=True`` additionally raises
+:class:`SanitizerError` at the first violation, which unit tests use to
+pinpoint injected corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.sim import futures as _futures_module
+
+#: sum of allocated rates may exceed a link's capacity by this relative slack
+#: (progressive filling accumulates float dust at high flow counts)
+FLOW_CONSERVATION_SLACK = 1e-6
+
+#: violations kept verbatim; beyond this only the counters grow
+MAX_RECORDED = 100
+
+
+class SanitizerError(AssertionError):
+    """Raised on the first violation when the sanitizer runs in strict mode."""
+
+
+@dataclass
+class Violation:
+    """One observed invariant breach."""
+
+    kind: str
+    time: float
+    detail: str
+    provenance: str = ""
+
+    def render(self) -> str:
+        text = f"[{self.kind}] t={self.time:.6f}: {self.detail}"
+        if self.provenance:
+            text += f" (provenance: {self.provenance})"
+        return text
+
+
+def _callback_label(callback: Any) -> str:
+    """Human-readable identity of an event callback, including its owner.
+
+    Bound methods expose their ``__self__``; when that object has a ``name``
+    (processes, app contexts) the label pinpoints *which* process or timer
+    scheduled the event -- the provenance the bug reports of PR 2/6 needed.
+    """
+    if callback is None:
+        return "<scrubbed>"
+    qualname = getattr(callback, "__qualname__", None) or repr(callback)
+    owner = getattr(callback, "__self__", None)
+    owner_name = getattr(owner, "name", None)
+    if owner_name:
+        return f"{qualname}[{owner_name}]"
+    return qualname
+
+
+class Sanitizer:
+    """Collects invariant violations for one :class:`Simulator`.
+
+    Create with the simulator to watch, then :meth:`install`.  The kernel,
+    network and bandwidth seams consult their ``_san`` attribute (``None``
+    when disabled, so the disabled hot path pays one pointer test); the
+    future-legality hook is module-global in :mod:`repro.sim.futures`
+    because futures do not know their simulator -- only one sanitizer can
+    own it at a time (last install wins, uninstall restores ``None``).
+    """
+
+    def __init__(self, sim: Any, strict: bool = False):
+        self.sim = sim
+        self.strict = strict
+        self.violations: List[Violation] = []
+        self.counts: Dict[str, int] = {}
+        #: (time, seq, callback) of the executing event — a tuple, not the
+        #: event itself, so the sanitizer never holds a reference that would
+        #: trip the kernel's refcount-gated free-list recycling
+        self.current: Optional[tuple] = None
+        self._installed = False
+
+    # ------------------------------------------------------------ lifecycle
+    def install(self) -> "Sanitizer":
+        """Attach to the simulator and take the future-legality hook."""
+        self.sim._san = self
+        _futures_module._misuse_hook = self._future_misuse
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Detach (safe to call twice; leaves other sanitizers alone)."""
+        if getattr(self.sim, "_san", None) is self:
+            self.sim._san = None
+        if _futures_module._misuse_hook == self._future_misuse:
+            _futures_module._misuse_hook = None
+        self._installed = False
+
+    def __enter__(self) -> "Sanitizer":
+        return self.install()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.uninstall()
+
+    def watch_network(self, network: Any) -> None:
+        """Enable the listener-table check on ``network``."""
+        network._san = self
+        bandwidth = getattr(network, "bandwidth", None)
+        if bandwidth is not None:
+            bandwidth._san = self
+
+    # ------------------------------------------------------------- recording
+    def record(self, kind: str, detail: str, provenance: str = "") -> None:
+        violation = Violation(kind=kind, time=self.sim.now, detail=detail,
+                              provenance=provenance)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if len(self.violations) < MAX_RECORDED:
+            self.violations.append(violation)
+        if self.strict:
+            raise SanitizerError(violation.render())
+
+    @property
+    def violation_count(self) -> int:
+        return sum(self.counts.values())
+
+    def current_label(self) -> str:
+        """Provenance of whatever is executing right now."""
+        current = self.current
+        if current is None:
+            return "external (no event executing)"
+        time, seq, callback = current
+        return f"{_callback_label(callback)} @(t={time:.6f}, seq={seq})"
+
+    def summary(self) -> dict:
+        """Report section (digest-excluded; see ``DIGEST_EXCLUDED_KEYS``)."""
+        return {
+            "enabled": True,
+            "violations": self.violation_count,
+            "by_kind": dict(sorted(self.counts.items())),
+            "reports": [v.render() for v in self.violations[:20]],
+        }
+
+    # ------------------------------------------------------- kernel seams
+    def note_scheduled(self, event: Any) -> None:
+        """Stamp provenance on a freshly scheduled event."""
+        event.origin = (f"{_callback_label(event.callback)} scheduled "
+                        f"t={event.time:.6f} by {self.current_label()}")
+
+    def before_execute(self, event: Any) -> None:
+        """Monotonic-clock check; also anchors provenance for this callback."""
+        if event.time < self.sim._now:
+            self.record(
+                "clock",
+                f"event seq={event.seq} ({_callback_label(event.callback)}) "
+                f"executes at t={event.time:.6f}, before now={self.sim._now:.6f}",
+                provenance=event.origin or "unknown")
+        self.current = (event.time, event.seq, event.callback)
+
+    def check_recycled(self, event: Any) -> None:
+        """A free-list pop must yield a dead, scrubbed event."""
+        if not event.cancelled and not event.fired:
+            self.record(
+                "free_list",
+                f"free list recycled a live pending event seq={event.seq} "
+                f"({_callback_label(event.callback)}) -- an external handle "
+                f"would observe it mutating under its feet",
+                provenance=event.origin or "unknown")
+        elif event.callback is not None:
+            self.record(
+                "free_list",
+                f"free list held an unscrubbed event seq={event.seq} "
+                f"({_callback_label(event.callback)}): callback still set",
+                provenance=event.origin or "unknown")
+
+    # ------------------------------------------------------- future seam
+    def _future_misuse(self, future: Any, operation: str) -> None:
+        state = getattr(future.state, "value", future.state)
+        self.record(
+            "future",
+            f"{operation} on already-{state} future "
+            f"{future.name or hex(id(future))} (pending -> done is the only "
+            f"legal transition)",
+            provenance=self.current_label())
+
+    # ------------------------------------------------------- process seam
+    def double_step(self, process: Any, event: Any) -> None:
+        self.record(
+            "process",
+            f"process {process.name} resumed while its armed step event "
+            f"seq={event.seq} is still pending -- two resumption paths race",
+            provenance=self.current_label())
+
+    # ------------------------------------------------------- network seam
+    def check_listener_table(self, network: Any) -> None:
+        """Every listener endpoint must belong to a registered host."""
+        hosts = network.hosts
+        for key, listener in network._listeners.items():
+            if key[0] not in hosts:
+                self.record(
+                    "listener",
+                    f"listener {key[0]}:{key[1]} survives its removed host "
+                    f"(handler {_callback_label(listener.handler)})",
+                    provenance=self.current_label())
+
+    # ----------------------------------------------------- bandwidth seam
+    def check_flow_conservation(self, model: Any) -> None:
+        """Sum of allocated rates on every access link <= its capacity."""
+        load: Dict[tuple, float] = {}
+        for transfer in model._active:
+            if transfer.rate_bps <= 0:
+                continue
+            up = ("up", transfer.src_ip)
+            down = ("down", transfer.dst_ip)
+            load[up] = load.get(up, 0.0) + transfer.rate_bps
+            load[down] = load.get(down, 0.0) + transfer.rate_bps
+        for (direction, ip), total in sorted(load.items()):
+            up_cap, down_cap = model.capacity(ip)
+            capacity = up_cap if direction == "up" else down_cap
+            if total > capacity * (1.0 + FLOW_CONSERVATION_SLACK):
+                self.record(
+                    "bandwidth",
+                    f"{direction}link of {ip} allocated {total:.1f} bps "
+                    f"against capacity {capacity:.1f} bps",
+                    provenance=self.current_label())

@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Determinism linter wrapper: ``tools/lint_determinism.py [args...]``.
+
+Identical to ``python -m repro.analysis`` (see docs/ANALYSIS.md) but callable
+without PYTHONPATH plumbing -- it adds ``src/`` to ``sys.path`` itself, so
+pre-commit hooks and bare CI steps can invoke it directly.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())
