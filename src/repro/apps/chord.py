@@ -287,6 +287,8 @@ class ChordNode:
         """
         key = key % (1 << self.bits)
         self.stats.lookups_started += 1
+        tracer = self.rpc._tracer
+        started = self.events.sim.now
         avoid: set[int] = set()
         current = self.me
         hops = 0
@@ -337,6 +339,17 @@ class ChordNode:
                 if confirmed is not None:
                     self.stats.lookups_completed += 1
                     self.stats.hops_total += hops
+                    if tracer is not None:
+                        # The lookup-level span: per-hop step/claim RPC spans
+                        # nest under it on the same host track.
+                        tracer.add(self.me.ip, "lookup",
+                                   started, self.events.sim.now - started,
+                                   cat="lookup",
+                                   args={"key": key, "hops": hops})
+                    registry = self.rpc._metrics
+                    if registry is not None:
+                        registry.inc("lookup.completed")
+                        registry.observe("lookup.hops", hops)
                     return confirmed, hops
                 current = self.me
                 continue
@@ -348,6 +361,10 @@ class ChordNode:
                 continue
             current = node
         self.stats.lookups_failed += 1
+        if tracer is not None:
+            tracer.add(self.me.ip, "lookup.failed",
+                       started, self.events.sim.now - started, cat="lookup",
+                       args={"key": key, "hops": hops})
         raise LookupFailed(f"lookup({key}) from {self.me} exceeded {self.max_hops} hops")
 
     # ----------------------------------------------------------------- helpers
@@ -457,7 +474,9 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
                        duration: str = "full", ctl_shards: int = 1,
                        testbed: str = "transit-stub",
                        churn_trace: Optional[str] = None,
-                       sanitize: bool = False) -> dict:
+                       sanitize: bool = False, metrics: bool = False,
+                       trace_out: Optional[str] = None, profile: bool = False,
+                       log_level: str = "INFO") -> dict:
     """Run the flagship Chord-under-churn scenario and return the report dict.
 
     ``join_window`` and ``settle`` default to values scaled with the ring
@@ -482,7 +501,8 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
         kernel=kernel, churn_script=script, churn_trace=churn_trace,
         testbed=testbed, options={"bits": bits},
         join_window=join_window, settle=settle, ctl_shards=ctl_shards,
-        sanitize=sanitize)
+        sanitize=sanitize, metrics=metrics, trace_out=trace_out,
+        profile=profile, log_level=log_level)
     sim, job = deployment.sim, deployment.job
 
     def _owner(job, key):

@@ -242,7 +242,10 @@ def run_dissemination_scenario(nodes: int = 50, hosts: Optional[int] = None,
                                ctl_shards: int = 1,
                                testbed: str = "transit-stub",
                                churn_trace: Optional[str] = None,
-                               sanitize: bool = False) -> dict:
+                               sanitize: bool = False, metrics: bool = False,
+                               trace_out: Optional[str] = None,
+                               profile: bool = False,
+                               log_level: str = "INFO") -> dict:
     """Run the chunk-swarming workload and return the report dict.
 
     Every non-seed node is one measured operation: its latency is the time
@@ -261,7 +264,8 @@ def run_dissemination_scenario(nodes: int = 50, hosts: Optional[int] = None,
         kernel=kernel, churn_script=script, churn_trace=churn_trace,
         testbed=testbed, options={"chunks": chunks, "chunk_size": chunk_size},
         join_window=join_window, settle=settle, ctl_shards=ctl_shards,
-        sanitize=sanitize)
+        sanitize=sanitize, metrics=metrics, trace_out=trace_out,
+        profile=profile, log_level=log_level)
     sim, job = deployment.sim, deployment.job
 
     horizon = deployment.measure_start + max(120.0, 0.02 * chunks * nodes)

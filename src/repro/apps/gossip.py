@@ -279,7 +279,9 @@ def run_gossip_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
                         duration: str = "full", ctl_shards: int = 1,
                         testbed: str = "transit-stub",
                         churn_trace: Optional[str] = None,
-                        sanitize: bool = False) -> dict:
+                        sanitize: bool = False, metrics: bool = False,
+                        trace_out: Optional[str] = None, profile: bool = False,
+                        log_level: str = "INFO") -> dict:
     """Run the epidemic-broadcast workload and return the report dict.
 
     ``broadcasts`` messages are published from random live nodes once churn
@@ -300,7 +302,8 @@ def run_gossip_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
         kernel=kernel, churn_script=script, churn_trace=churn_trace,
         testbed=testbed, options={"fanout": fanout, "view_size": view_size},
         join_window=join_window, settle=settle, ctl_shards=ctl_shards,
-        sanitize=sanitize)
+        sanitize=sanitize, metrics=metrics, trace_out=trace_out,
+        profile=profile, log_level=log_level)
     sim, job = deployment.sim, deployment.job
 
     published: List[Tuple[str, float]] = []

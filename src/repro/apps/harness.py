@@ -138,7 +138,9 @@ def summarise(results: List[OpResult]) -> dict:
 #: the default-testbed digest is unchanged from the pre-testbeds era (the
 #: environment's *effects* still show up in every digest-relevant section)
 DIGEST_EXCLUDED_KEYS = frozenset({"kernel", "ctl_shards", "control_plane",
-                                  "testbed", "sanitizer"})
+                                  "testbed", "sanitizer",
+                                  "metrics", "trace", "profile",
+                                  "flight_recorder"})
 
 
 def report_digest(report: dict) -> str:
@@ -202,6 +204,11 @@ class Deployment:
     measure_start: float
     #: runtime sanitizer (``--sanitize``), or ``None`` when disabled
     sanitizer: Optional[object] = None
+    #: observability handle (``--metrics``/``--trace-out``/``--profile``,
+    #: also installed under ``--sanitize`` for the flight recorder), or None
+    observability: Optional[object] = None
+    #: destination file for the Chrome trace-event JSON, or ``None``
+    trace_out: Optional[str] = None
 
 
 def scaled_windows(nodes: int, join_window: Optional[float],
@@ -235,7 +242,9 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
            options: Optional[dict] = None, base_port: int = 20000,
            join_window: float = 60.0, settle: float = 90.0,
            warmup_grace: float = 60.0, ctl_shards: int = 1,
-           sanitize: bool = False) -> Deployment:
+           sanitize: bool = False, metrics: bool = False,
+           trace_out: Optional[str] = None, profile: bool = False,
+           log_level: str = "INFO") -> Deployment:
     """Build the substrate, register daemons, submit and start the job.
 
     ``testbed`` names the environment preset (:mod:`repro.testbeds`) the
@@ -251,12 +260,27 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
     identical for any value.  ``sanitize`` installs the runtime sanitizer
     (:mod:`repro.sim.sanitizer`): observation-only invariant checks whose
     findings land in the report's digest-excluded ``sanitizer`` section.
+    ``metrics`` / ``trace_out`` / ``profile`` enable the observability plane
+    (:mod:`repro.obs`): sim-time metrics aggregated per job, causal spans
+    exported as Chrome trace-event JSON, and the wall-clock kernel profiler.
+    All of it is observation-only and digest-excluded, so every flag
+    combination yields byte-identical report digests.  ``log_level`` sets
+    the job's minimum log severity (the paper's controller-set verbosity).
     """
     sim = Simulator(seed, kernel=kernel)
     sanitizer = None
     if sanitize:
         from repro.sim.sanitizer import Sanitizer
         sanitizer = Sanitizer(sim).install()
+    observability = None
+    if metrics or trace_out is not None or profile or sanitize:
+        from repro.obs import Observability
+        observability = Observability(sim, metrics=metrics,
+                                      tracing=trace_out is not None,
+                                      profile=profile).install()
+        if sanitizer is not None:
+            # Violation reports pick up the last-K ring entries.
+            sanitizer.recorder = observability.recorder
     testbed_spec = get_testbed(testbed)
     host_count = hosts if hosts is not None else testbed_spec.default_hosts(nodes)
     ips = host_ips(host_count)
@@ -277,7 +301,7 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
         app_factory=app_factory,
         instances=nodes,
         base_port=base_port,
-        log_level="INFO",
+        log_level=log_level,
         log_max_bytes=256_000,
         churn_script=churn_script,
         churn_trace=churn_trace,
@@ -300,7 +324,8 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
                       testbed_description=built.description,
                       join_window=join_window, settle=settle,
                       warmup_end=warmup_end, churn_end=churn_end,
-                      measure_start=churn_end + settle, sanitizer=sanitizer)
+                      measure_start=churn_end + settle, sanitizer=sanitizer,
+                      observability=observability, trace_out=trace_out)
 
 
 # -------------------------------------------------------------------- drivers
@@ -344,9 +369,21 @@ def lookup_stream(sim: Simulator, job: Job, count: int, spacing: float, bits: in
 
 
 def drain(sim: Simulator, driver: Process, hard_cap: float, step: float = 60.0) -> None:
-    """Run the simulation until ``driver`` finishes (bounded by ``hard_cap``)."""
+    """Run the simulation until ``driver`` finishes (bounded by ``hard_cap``).
+
+    On a deadline overrun (the driver still pending at ``hard_cap``) the
+    flight recorder — when installed — dumps the last ring entries to
+    stderr, so a hung workload leaves its final dispatches behind.
+    """
     while not driver.done.done() and sim.now < hard_cap:
         sim.run(until=min(hard_cap, sim.now + step))
+    if not driver.done.done():
+        obs = getattr(sim, "_obs", None)
+        if obs is not None:
+            header = (f"flight recorder: driver still pending at the "
+                      f"t={hard_cap:.0f}s deadline")
+            for line in obs.ring_lines(header=header):
+                print(line, file=sys.stderr)
 
 
 # --------------------------------------------------------------------- report
@@ -396,6 +433,23 @@ def base_report(scenario: str, deployment: Deployment, bits: Optional[int] = Non
         # Digest-excluded (like kernel/control_plane): the sanitizer reports
         # on execution mechanics, and turning it on must not change results.
         report["sanitizer"] = deployment.sanitizer.summary()
+    obs = deployment.observability
+    if obs is not None:
+        # All digest-excluded for the same reason: observation never feeds
+        # back into the workload, and the digest asserts exactly that.
+        if obs.metrics_enabled:
+            report["metrics"] = obs.metrics_section(deployment)
+        if obs.tracer is not None:
+            report["trace"] = obs.trace_section()
+            if deployment.trace_out is not None:
+                report["trace"]["written_to"] = deployment.trace_out
+                report["trace"]["spans_written"] = obs.tracer.write(
+                    deployment.trace_out)
+        if obs.profiler is not None:
+            report["profile"] = obs.profile_section()
+        # The ring is always on while the handle is installed: failure
+        # paths (min-success, sanitizer, deadline) print it for context.
+        report["flight_recorder"] = obs.ring_lines()
     churn_manager = controller.churn_managers.get(job.job_id)
     if churn_manager is not None:
         stats = churn_manager.stats

@@ -506,7 +506,9 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
                         duration: str = "full", ctl_shards: int = 1,
                         testbed: str = "transit-stub",
                         churn_trace: Optional[str] = None,
-                        sanitize: bool = False) -> dict:
+                        sanitize: bool = False, metrics: bool = False,
+                        trace_out: Optional[str] = None, profile: bool = False,
+                        log_level: str = "INFO") -> dict:
     """Run Pastry under (optional) churn and return the report dict."""
     from repro.apps import harness
     from repro.sim.process import Process
@@ -520,7 +522,8 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
         kernel=kernel, churn_script=script, churn_trace=churn_trace,
         testbed=testbed, options={"bits": bits, "base_bits": base_bits},
         join_window=join_window, settle=settle, ctl_shards=ctl_shards,
-        sanitize=sanitize)
+        sanitize=sanitize, metrics=metrics, trace_out=trace_out,
+        profile=profile, log_level=log_level)
     sim, job = deployment.sim, deployment.job
 
     def _owner(job, key):

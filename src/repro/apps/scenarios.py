@@ -134,6 +134,7 @@ BENCH_CSV_COLUMNS = [
     "messages_sent", "messages_dropped", "bytes_sent",
     "churn_joins", "churn_leaves", "churn_crashes",
     "report_digest",
+    "profile_wall_s", "profile_sites", "profile_top_site", "profile_top_share",
 ]
 
 #: columns that legitimately differ between runs, machines and ``--jobs``
@@ -142,6 +143,7 @@ BENCH_CSV_COLUMNS = [
 BENCH_TIMING_COLUMNS = frozenset({
     "wall_sec", "events_per_sec", "events_per_sec_ci95",
     "wall_per_virtual_sec", "peak_rss_kb", "jobs",
+    "profile_wall_s", "profile_sites", "profile_top_site", "profile_top_share",
 })
 
 
@@ -306,6 +308,12 @@ def _bench_scenario_row(spec: registry.ScenarioSpec, kernel: str, nodes: int,
         "churn_crashes": job["churn_crashes"],
         "report_digest": harness.report_digest(report),
     }
+    profile = report.get("profile") or {}
+    top = profile["top"][0] if profile.get("top") else {}
+    row["profile_wall_s"] = profile.get("wall_s", "")
+    row["profile_sites"] = profile.get("sites", "")
+    row["profile_top_site"] = top.get("site", "")
+    row["profile_top_share"] = top.get("wall_share", "")
     row.update(spec.bench_metrics(report))
     return row
 
@@ -336,6 +344,9 @@ def _bench_task_row(task: dict) -> dict:
     # Meaningful per cell only with fresh workers (scale mode); in a serial
     # or shared-worker run this is the process's cumulative high-water mark.
     row["peak_rss_kb"] = _peak_rss_kb()
+    for column in ("profile_wall_s", "profile_sites",
+                   "profile_top_site", "profile_top_share"):
+        row.setdefault(column, "")
     return row
 
 
@@ -374,7 +385,8 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
               workload: str = "chord",
               hosts_list: Optional[List[Optional[int]]] = None,
               ctl_shards: int = 1, testbed: str = "transit-stub",
-              seeds: int = 1, jobs: int = 1, sanitize: bool = False) -> dict:
+              seeds: int = 1, jobs: int = 1, sanitize: bool = False,
+              profile: bool = False) -> dict:
     """Sweep the scenario grid and the kernel microbenchmark; return the summary.
 
     For every ``(nodes, hosts, churn_rate)`` cell the scenario runs once per
@@ -420,14 +432,16 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
                         kwargs = dict(nodes=nodes, hosts=hosts, seed=seed + offset,
                                       churn_script=script, kernel=kernel,
                                       ctl_shards=ctl_shards, testbed=testbed,
-                                      sanitize=sanitize)
+                                      sanitize=sanitize, profile=profile)
                         if spec.ops_param is not None:
                             kwargs[spec.ops_param] = lookups
                         tasks.append({"kind": "scenario", "workload": workload,
                                       "kernel": kernel, "nodes": nodes,
                                       "churn_rate": rate, "seed": seed + offset,
                                       "runner_kwargs": kwargs})
-    for nodes in nodes_list:
+    # micro_duration <= 0 skips the kernel microbenchmark entirely
+    micro_nodes = nodes_list if micro_duration > 0 else []
+    for nodes in micro_nodes:
         for kernel in kernels:
             tasks.append({"kind": "micro", "kernel": kernel, "nodes": nodes,
                           "duration": micro_duration})
@@ -458,7 +472,7 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
                         f"workload={spec.name} testbed={testbed} nodes={nodes} "
                         f"hosts={hosts} churn={rate:g}: kernel reports "
                         f"diverge {digests}")
-    for nodes in nodes_list:
+    for nodes in micro_nodes:
         per_kernel = {}
         for kernel in kernels:
             row = next(results)
@@ -487,6 +501,7 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
             "lookups": lookups,
             "micro_duration": micro_duration,
             "sanitize": sanitize,
+            "profile": profile,
         },
         "rows": rows,
         "speedups": _bench_speedups(rows),
@@ -684,6 +699,23 @@ def _add_common_arguments(parser: argparse.ArgumentParser,
     parser.add_argument("--cdf", type=str, default=None, metavar="PATH",
                         help="write the measured latency CDF as "
                              "(latency_ms, fraction) CSV to PATH")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect sim-time metrics (counters/gauges/"
+                             "histograms, aggregated per job); digest-"
+                             "excluded, results are identical")
+    parser.add_argument("--metrics-out", type=str, default=None, metavar="FILE",
+                        help="write the metrics report section as JSON to "
+                             "FILE (implies --metrics)")
+    parser.add_argument("--trace-out", type=str, default=None, metavar="FILE",
+                        help="record causal RPC/lookup spans and write "
+                             "Chrome trace-event JSON (Perfetto-loadable, "
+                             "one track per host) to FILE")
+    parser.add_argument("--profile", action="store_true",
+                        help="attribute wall time and event counts to kernel "
+                             "callback sites; prints a top-N table")
+    parser.add_argument("--log-level", choices=("DEBUG", "INFO", "WARN", "ERROR"),
+                        default="INFO",
+                        help="minimum severity the job's instances record")
 
 
 def _run_scenario_cli(spec: registry.ScenarioSpec, args: argparse.Namespace) -> int:
@@ -720,10 +752,14 @@ def _run_scenario_cli(spec: registry.ScenarioSpec, args: argparse.Namespace) -> 
                   testbed=args.testbed,
                   join_window=args.join_window, settle=args.settle,
                   kernel=args.kernel, duration=args.duration,
-                  ctl_shards=args.ctl_shards, sanitize=args.sanitize)
+                  ctl_shards=args.ctl_shards, sanitize=args.sanitize,
+                  metrics=args.metrics or bool(args.metrics_out),
+                  trace_out=args.trace_out, profile=args.profile,
+                  log_level=args.log_level)
     kwargs.update(spec.make_kwargs(args))
     report = spec.runner(**kwargs)
     _print_report(report, spec)
+    _print_observability(report, args)
     if args.sanitize:
         sanitizer = report.get("sanitizer") or {}
         count = sanitizer.get("violations", 0)
@@ -733,6 +769,7 @@ def _run_scenario_cli(spec: registry.ScenarioSpec, args: argparse.Namespace) -> 
             print(f"  {line}", file=sys.stderr)
         if count:
             print("FAIL: sanitizer recorded invariant violations", file=sys.stderr)
+            _dump_flight_recorder(report)
             return 2
     if args.cdf:
         samples = report.get("cdf_samples_ms", [])
@@ -745,7 +782,46 @@ def _run_scenario_cli(spec: registry.ScenarioSpec, args: argparse.Namespace) -> 
     if not ok:
         print(f"FAIL: success rate below {100 * args.min_success:.0f}%",
               file=sys.stderr)
+        _dump_flight_recorder(report)
     return 0 if ok else 2
+
+
+def _print_observability(report: dict, args: argparse.Namespace) -> None:
+    """Summarise the metrics/trace/profile sections (and write --metrics-out)."""
+    metrics = report.get("metrics")
+    if metrics:
+        kernel = metrics["kernel"]
+        network = metrics["network"]
+        registry_size = len(metrics["job"]["registry"])
+        print(f"metrics: kernel {kernel['events_dispatched']} dispatched "
+              f"/ {kernel['events_recycled']} recycled "
+              f"/ {kernel['events_cancelled']} cancelled; "
+              f"drops loss={network['drops_loss']} "
+              f"dead-host={network['drops_dead_host']} "
+              f"no-listener={network['drops_no_listener']}; "
+              f"{registry_size} job metric(s)")
+    if args.metrics_out and metrics:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        print(f"metrics: wrote section to {args.metrics_out}")
+    trace = report.get("trace")
+    if trace:
+        where = (f", written to {trace['written_to']}"
+                 if trace.get("written_to") else "")
+        print(f"trace: {trace['spans']} span(s) over {trace['hosts']} "
+              f"host track(s), {trace['dropped']} dropped{where}")
+    profile = report.get("profile")
+    if profile:
+        from repro.obs import KernelProfiler
+        for line in KernelProfiler.format_table(profile):
+            print(line)
+
+
+def _dump_flight_recorder(report: dict) -> None:
+    """Print the report's flight-recorder ring (failure context) to stderr."""
+    for line in report.get("flight_recorder") or []:
+        print(line, file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -820,6 +896,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="run every scenario cell with the runtime "
                             "sanitizer enabled (measures its overhead; "
                             "digests are unchanged)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run every scenario cell with the kernel "
+                            "profiler; adds profile_* columns to the CSV "
+                            "(digests are unchanged)")
     bench.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
     args = parser.parse_args(argv)
@@ -843,7 +923,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 hosts_list=args.hosts_list,
                                 ctl_shards=args.ctl_shards,
                                 testbed=args.testbed, seeds=args.seeds,
-                                jobs=args.jobs, sanitize=args.sanitize)
+                                jobs=args.jobs, sanitize=args.sanitize,
+                                profile=args.profile)
         write_bench_csv(csv_path, summary["rows"])
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)

@@ -33,13 +33,23 @@ class LogLevel(enum.IntEnum):
 
 @dataclass(slots=True)
 class LogRecord:
-    """One log entry produced by an application instance."""
+    """One structured log entry produced by an application instance.
+
+    Carries the simulated emission time, the severity, the emitting
+    instance's ``source`` label and ``host`` address, and — once routed
+    through a collector — the job id.  ``fields`` holds optional structured
+    key/value context attached at the call site.
+    """
 
     time: float
     level: LogLevel
     source: str
     message: str
     job_id: Optional[int] = None
+    #: address of the emitting host (``""`` for loggers outside a daemon)
+    host: str = ""
+    #: structured context (``logger.info("joined", ring=7)``), or None
+    fields: Optional[dict] = None
 
 
 @dataclass(slots=True)
@@ -76,15 +86,16 @@ class SplayLogger:
         Callable returning the current virtual time.
     """
 
-    __slots__ = ("source", "level", "remote_sink", "_budget", "clock",
+    __slots__ = ("source", "host", "level", "remote_sink", "_budget", "clock",
                  "keep_local", "_records", "enabled")
 
     def __init__(self, source: str, level: LogLevel | str = LogLevel.INFO,
                  remote_sink: Optional[Callable[[LogRecord], None]] = None,
                  budget: Optional[LogBudget] = None,
                  clock: Callable[[], float] = lambda: 0.0,
-                 keep_local: int = 1000):
+                 keep_local: int = 1000, host: str = ""):
         self.source = source
+        self.host = host
         self.level = LogLevel.coerce(level)
         self.remote_sink = remote_sink
         self._budget = budget
@@ -108,14 +119,23 @@ class SplayLogger:
         return self._records
 
     # -------------------------------------------------------------- emitters
-    def log(self, level: LogLevel | str, message: Any) -> Optional[LogRecord]:
-        """Record ``message`` at ``level``; returns the record if admitted."""
+    def log(self, level: LogLevel | str, message: Any,
+            **fields: Any) -> Optional[LogRecord]:
+        """Record ``message`` at ``level``; returns the record if admitted.
+
+        Keyword arguments become the record's structured ``fields`` —
+        ``logger.info("lookup done", hops=4)`` — shipped to the collector
+        with the record itself (the route is unchanged: same sink, same
+        bounded queue, same budget).
+        """
         if not self.enabled:
             return None
         level = LogLevel.coerce(level)
         if level < self.level:
             return None
-        record = LogRecord(time=self.clock(), level=level, source=self.source, message=str(message))
+        record = LogRecord(time=self.clock(), level=level, source=self.source,
+                           message=str(message), host=self.host,
+                           fields=fields or None)
         records = self._records
         if records is None:
             records = self._records = []
@@ -126,17 +146,17 @@ class SplayLogger:
             self.remote_sink(record)
         return record
 
-    def debug(self, message: Any) -> Optional[LogRecord]:
-        return self.log(LogLevel.DEBUG, message)
+    def debug(self, message: Any, **fields: Any) -> Optional[LogRecord]:
+        return self.log(LogLevel.DEBUG, message, **fields)
 
-    def info(self, message: Any) -> Optional[LogRecord]:
-        return self.log(LogLevel.INFO, message)
+    def info(self, message: Any, **fields: Any) -> Optional[LogRecord]:
+        return self.log(LogLevel.INFO, message, **fields)
 
-    def warn(self, message: Any) -> Optional[LogRecord]:
-        return self.log(LogLevel.WARN, message)
+    def warn(self, message: Any, **fields: Any) -> Optional[LogRecord]:
+        return self.log(LogLevel.WARN, message, **fields)
 
-    def error(self, message: Any) -> Optional[LogRecord]:
-        return self.log(LogLevel.ERROR, message)
+    def error(self, message: Any, **fields: Any) -> Optional[LogRecord]:
+        return self.log(LogLevel.ERROR, message, **fields)
 
     print = info  # the paper's applications use log.print
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from types import GeneratorType
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional
 
 from repro.lib.sbsocket import RestrictedSocket, SocketRestrictionError
 from repro.net.address import Address, NodeRef
@@ -84,7 +84,8 @@ class RpcService:
     """
 
     __slots__ = ("socket", "events", "sim", "default_timeout", "default_retries",
-                 "_stats", "_handlers", "_pending", "_call_ids")
+                 "_stats", "_handlers", "_pending", "_call_ids", "_metrics",
+                 "_tracer")
 
     def __init__(self, socket: RestrictedSocket, events: Events,
                  default_timeout: float = 3.0, default_retries: int = 1):
@@ -100,14 +101,25 @@ class RpcService:
             "__ping__": lambda: True,
             "__batch__": self._serve_batch,
         }
-        #: call_id -> (future, timeout timer)
-        self._pending: Dict[int, Tuple[Future, Optional[ScheduledEvent]]] = {}
+        #: call_id -> in-flight _PendingCall
+        self._pending: Dict[int, "_PendingCall"] = {}
         # Call ids are per-service: uniqueness is only needed to match replies
         # in our own _pending table, and a process-wide counter would leak
         # nondeterministic payload sizes across co-hosted seeded simulations.
         self._call_ids = 0
+        # Observability (repro.obs): the tracer is discovered from the
+        # simulator; the per-job metrics registry is bound by the daemon at
+        # spawn (the service itself does not know its job).  Both stay None
+        # unless explicitly enabled — the hot paths pay one pointer test.
+        self._metrics = None
+        obs = getattr(events.sim, "_obs", None)
+        self._tracer = obs.tracer if obs is not None else None
         socket.listen(self._on_message)
         events.context.add_cleanup(self._cancel_pending)
+
+    def bind_metrics(self, registry) -> None:
+        """Attach the job's metrics registry (wired by ``Splayd.spawn``)."""
+        self._metrics = registry
 
     @property
     def stats(self) -> RpcStats:
@@ -157,12 +169,17 @@ class RpcService:
         except Exception as exc:  # noqa: BLE001 - shipped back to the caller
             self._send_reply(message.src, call_id, ok=False, error=repr(exc))
             return
+        tracer = self._tracer
         if _is_generator(result):
             # Coroutine handler: run it on the app context, reply when done.
+            started = self.sim.now
             process = self.events.thread(lambda: result,
                                          name=f"{self.events.context.name}.rpc.{method}")
 
             def _finish(fut: Future) -> None:
+                if tracer is not None:
+                    tracer.add(self.socket.local.ip, f"serve.{method}",
+                               started, self.sim.now - started, cat="rpc")
                 if fut.state is FutureState.DONE:
                     self._send_reply(message.src, call_id, ok=True, value=fut.result())
                 elif fut.state is FutureState.FAILED:
@@ -173,6 +190,10 @@ class RpcService:
 
             process.done.add_done_callback(_finish)
         else:
+            if tracer is not None:
+                # Synchronous handler: zero-duration span at the serve instant.
+                tracer.add(self.socket.local.ip, f"serve.{method}",
+                           self.sim.now, 0.0, cat="rpc")
             self._send_reply(message.src, call_id, ok=True, value=result)
 
     def _serve_batch(self, calls: list) -> Any:
@@ -253,6 +274,10 @@ class RpcService:
         round trip over the whole batch, so ``stats.calls_sent`` counts the
         batch as a single call.
         """
+        if self._metrics is not None:
+            from repro.obs.metrics import COUNT_BOUNDS
+            self._metrics.observe("rpc.batch_size", len(calls),
+                                  bounds=COUNT_BOUNDS)
         payload = [{"method": call[0], "args": list(call[1:])} for call in calls]
         return self.a_call(dst, "__batch__", payload, timeout=timeout, retries=retries)
 
@@ -266,26 +291,46 @@ class RpcService:
         return result
 
     def _accept_reply(self, payload: dict) -> None:
-        entry = self._pending.pop(payload.get("id"), None)
-        if entry is None:
+        pending = self._pending.pop(payload.get("id"), None)
+        if pending is None:
             return  # duplicate reply after a retry already completed the call
-        future, timer = entry
+        future, timer = pending.result, pending.timer
+        # Drop the event back-reference before cancelling: the timer's
+        # callback is a bound method holding this _PendingCall, so keeping
+        # ``.timer`` set would close a reference cycle that pins the
+        # cancelled event past the kernel's refcount-gated recycling check.
+        pending.timer = None
         if timer is not None:
             timer.cancel()
         self.stats.replies_received += 1
+        if self._metrics is not None or self._tracer is not None:
+            self._observe_round_trip(pending)
         if payload.get("ok"):
             future.set_result(payload.get("value"))
         else:
             self.stats.remote_errors += 1
             future.set_exception(RpcError(str(payload.get("error"))))
 
+    def _observe_round_trip(self, pending: "_PendingCall") -> None:
+        """Latency histogram + client span for one completed call (cold path)."""
+        elapsed = self.sim.now - pending.sent_at
+        if self._metrics is not None:
+            self._metrics.observe(f"rpc.latency_s.{pending.method}", elapsed)
+        tracer = self._tracer
+        if tracer is not None:
+            args = ({"issued_by": pending.issued_by}
+                    if pending.issued_by is not None else None)
+            tracer.add(self.socket.local.ip, f"rpc.{pending.method}",
+                       pending.sent_at, elapsed, cat="rpc", args=args)
+
     def _cancel_pending(self) -> None:
         """Instance teardown: cancel timers and outstanding calls."""
         pending, self._pending = self._pending, {}
-        for future, timer in pending.values():
+        for call in pending.values():
+            timer, call.timer = call.timer, None
             if timer is not None:
                 timer.cancel()
-            future.cancel()
+            call.result.cancel()
 
     @property
     def pending_calls(self) -> int:
@@ -301,7 +346,8 @@ class _PendingCall:
     """
 
     __slots__ = ("service", "dst", "method", "payload", "result", "timeout",
-                 "attempts", "attempts_left", "call_id")
+                 "attempts", "attempts_left", "call_id", "timer", "sent_at",
+                 "issued_by")
 
     def __init__(self, service: RpcService, dst: Any, method: str, payload: dict,
                  result: Future, timeout: float, attempts: int, call_id: int):
@@ -314,6 +360,15 @@ class _PendingCall:
         self.attempts = attempts
         self.attempts_left = attempts
         self.call_id = call_id
+        #: current timeout timer (replaced on every attempt)
+        self.timer: Optional[ScheduledEvent] = None
+        #: first-attempt issue time — round-trip latency is measured from
+        #: here, so retries lengthen (not reset) the observed latency
+        self.sent_at = service.sim._now
+        # Provenance of the issuing event (tracing only: string formatting
+        # per call is not free, so it stays None when the tracer is off).
+        tracer = service._tracer
+        self.issued_by = tracer.current_label() if tracer is not None else None
 
     def attempt(self) -> None:
         result = self.result
@@ -332,10 +387,14 @@ class _PendingCall:
             service._pending.pop(self.call_id, None)
             result.set_exception(RpcError(f"{self.method} to {self.dst}: {exc}"))
             return
-        timer = service.sim.schedule(self.timeout, self.on_timeout)
-        service._pending[self.call_id] = (result, timer)
+        self.timer = service.sim.schedule(self.timeout, self.on_timeout)
+        service._pending[self.call_id] = self
 
     def on_timeout(self) -> None:
+        # The firing event holds our bound method; clear the back-reference
+        # so the kernel can recycle it the moment this callback returns
+        # (attempt() installs a fresh timer on retry).
+        self.timer = None
         result = self.result
         if result._state is not _PENDING:
             return
@@ -345,6 +404,14 @@ class _PendingCall:
         service = self.service
         service.stats.timeouts += 1
         service._pending.pop(self.call_id, None)
+        if service._metrics is not None:
+            service._metrics.inc(f"rpc.timeout.{self.method}")
+        tracer = service._tracer
+        if tracer is not None:
+            tracer.add(service.socket.local.ip, f"rpc.{self.method}.timeout",
+                       self.sent_at, service.sim.now - self.sent_at, cat="rpc",
+                       args=({"issued_by": self.issued_by}
+                             if self.issued_by is not None else None))
         result.set_exception(RpcTimeout(
             f"{self.method} to {self.dst} timed out "
             f"({self.timeout:g}s x {self.attempts} attempts)"))

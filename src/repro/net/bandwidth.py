@@ -72,6 +72,10 @@ class BandwidthModel:
         self._transfer_ids = 0
         #: completed transfer count (for stats/tests)
         self.completed = 0
+        #: bytes fully delivered by completed transfers (metrics section)
+        self.bytes_completed = 0.0
+        #: transfers aborted mid-flight — explicit cancel or host failure
+        self.preemptions = 0
         #: runtime sanitizer (repro.sim.sanitizer) or None
         self._san: Optional[object] = None
 
@@ -114,6 +118,7 @@ class BandwidthModel:
         self._advance_progress()
         transfer.cancelled = True
         transfer.done.cancel()
+        self.preemptions += 1
         self._reallocate()
 
     def cancel_host(self, ip: str) -> int:
@@ -131,6 +136,7 @@ class BandwidthModel:
         for transfer in victims:
             transfer.cancelled = True
             transfer.done.cancel()
+        self.preemptions += len(victims)
         self._reallocate()
         return len(victims)
 
@@ -176,6 +182,7 @@ class BandwidthModel:
         for transfer in finished:
             transfer.done.set_result(now)
             self.completed += 1
+            self.bytes_completed += transfer.total_bytes
 
         if not self._active:
             return

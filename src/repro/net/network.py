@@ -32,6 +32,12 @@ class NetworkStats:
     bytes_sent: int = 0
     handler_errors: int = 0
     transfers_started: int = 0
+    # Drop-cause split (sums to messages_dropped): dead endpoint hosts,
+    # loss-model drops, and missing/dead destination listeners.  Surfaced in
+    # the digest-excluded ``metrics`` report section only.
+    drops_dead_host: int = 0
+    drops_loss: int = 0
+    drops_no_listener: int = 0
     last_errors: List[str] = field(default_factory=list)
 
     def record_error(self, error: str, cap: int = 20) -> None:
@@ -194,6 +200,7 @@ class Network:
             # runs are unaffected by which path a message takes.
             if not src_alive:
                 stats.messages_dropped += 1
+                stats.drops_dead_host += 1
                 outcome.set_result(False)
                 return outcome
         else:
@@ -201,10 +208,12 @@ class Network:
             if not src_alive or dst_host is None \
                     or not getattr(dst_host, "alive", True):
                 stats.messages_dropped += 1
+                stats.drops_dead_host += 1
                 outcome.set_result(False)
                 return outcome
         if self.loss.should_drop(src_ip, dst_ip):
             stats.messages_dropped += 1
+            stats.drops_loss += 1
             outcome.set_result(False)
             return outcome
 
@@ -255,16 +264,19 @@ class Network:
         host = self.hosts.get(dst.ip)
         if host is None or not getattr(host, "alive", True):
             self.stats.messages_dropped += 1
+            self.stats.drops_dead_host += 1
             outcome.set_result(False)
             return
         listener = self._listeners.get((dst.ip, dst.port))
         if listener is None:
             self.stats.messages_dropped += 1
+            self.stats.drops_no_listener += 1
             outcome.set_result(False)
             return
         context = listener.context
         if context is not None and not context.alive:
             self.stats.messages_dropped += 1
+            self.stats.drops_no_listener += 1
             outcome.set_result(False)
             return
         try:

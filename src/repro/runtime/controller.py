@@ -196,6 +196,26 @@ class Controller:
         minimum = LogLevel.coerce(level)
         return [r for r in records if r.level >= minimum]
 
+    # ---------------------------------------------------------------- metrics
+    def metrics_for(self, job: Job):
+        """Per-job metrics registry, resolved through the store (like logs)."""
+        return self.store.metrics_for(job)
+
+    def job_metrics(self, job: Job) -> Dict[str, object]:
+        """Per-job observability aggregation (digest-excluded ``metrics``).
+
+        Mirrors :meth:`job_logs`: the registry and the log collector both
+        live on the shared store, so the numbers are identical whatever the
+        shard count and survive shard failover.
+        """
+        collector = self.store.collector(job)
+        collector.flush()
+        return {
+            "job_id": job.job_id,
+            "registry": self.store.metrics_for(job).snapshot(),
+            "log_collector": collector.status(),
+        }
+
     # ------------------------------------------------------------------ stats
     def job_status(self, job: Job) -> Dict[str, object]:
         """Controller-side summary of one job (printed by scenarios).

@@ -150,6 +150,10 @@ class JobStore:
         self.host_recoveries_total = 0
         self.jobs: Dict[int, Job] = {}
         self.collectors: Dict[int, LogCollector] = {}
+        #: per-job metrics registries (repro.obs) — created lazily like the
+        #: log collectors, and only when observability is enabled, so jobs
+        #: that never record a metric pay nothing
+        self.metrics: Dict[int, object] = {}
         self.churn_managers: Dict[int, ChurnManager] = {}
         self.shards: List["CtlShard"] = []
         #: job_id -> shard currently responsible for the job
@@ -257,6 +261,22 @@ class JobStore:
             existing = LogCollector(self.sim, job, max_queue=self.log_queue_depth,
                                     drain_interval=self.log_drain_interval)
             self.collectors[job.job_id] = existing
+        return existing
+
+    def metrics_for(self, job: Job):
+        """The job's metrics registry — same store-resident path as logs.
+
+        Instance-side emitters (the RPC layer, workload apps) and the
+        report aggregation both resolve the registry through the store, so
+        per-job measurements survive shard failover exactly like log
+        records do.  Timestamps come from the simulated clock.
+        """
+        existing = self.metrics.get(job.job_id)
+        if existing is None:
+            from repro.obs.metrics import MetricsRegistry
+            sim = self.sim
+            existing = MetricsRegistry(clock=lambda: sim.now)
+            self.metrics[job.job_id] = existing
         return existing
 
     # -------------------------------------------------------------- placement
@@ -507,6 +527,11 @@ class CtlShard:
     def recover(self) -> None:
         """Bring the shard back as an empty front-end (no claims, no daemons)."""
         self.alive = True
+
+    # ---------------------------------------------------------------- metrics
+    def metrics_for(self, job: Job):
+        """Per-job metrics registry (store-resident, like the log collector)."""
+        return self.store.metrics_for(job)
 
     # ------------------------------------------------------------------- logs
     def route_log(self, job: Job, record: LogRecord) -> None:

@@ -199,8 +199,13 @@ class Splayd:
         budget = LogBudget(max_bytes=log_max) if log_max is not None else None
         logger = SplayLogger(
             source=name, level=job.spec.log_level, remote_sink=sink,
-            budget=budget, clock=self._clock)
+            budget=budget, clock=self._clock, host=self.ip)
         rpc = RpcService(socket, events)
+        obs = getattr(self.sim, "_obs", None)
+        if obs is not None and obs.metrics_enabled and self.controller is not None:
+            # Same store-resident path the log sink takes: the registry is
+            # per-job and survives shard failover with the store.
+            rpc.bind_metrics(self.controller.metrics_for(job))
         instance = Instance(job, instance_id, self, context, events, socket, rpc, fs, logger)
         self.instances.append(instance)
         self.spawned_total += 1

@@ -71,7 +71,8 @@ class ScheduledEvent:
         self.cancelled = False
         self.fired = False
         #: provenance string ("who scheduled this"), stamped only when a
-        #: sanitizer is installed (repro.sim.sanitizer); None otherwise
+        #: sanitizer (repro.sim.sanitizer) or tracer (repro.obs) is
+        #: installed; None otherwise
         self.origin = None
         self._sim = sim
         self._epoch = epoch
@@ -136,6 +137,14 @@ class Simulator:
         self.rng = random.Random(seed)
         #: number of callbacks executed so far (useful for tests and stats)
         self.executed_events = 0
+        #: events that were pending when :meth:`clear` dropped them — they
+        #: neither fired nor were cancelled, so the ``cancelled_events``
+        #: derivation has to account for them separately
+        self._cleared_events = 0
+        #: fresh ScheduledEvent constructions — counted on the cold
+        #: allocation branch so the recycling hot path stays increment-free;
+        #: see the ``recycled_events`` property
+        self.allocated_events = 0
         # O(1) pending-event accounting (events scheduled minus fired/cancelled)
         self._pending = 0
         self._epoch = 0
@@ -165,12 +174,40 @@ class Simulator:
         #: runtime sanitizer (repro.sim.sanitizer.Sanitizer) or None; the
         #: hot paths pay a single pointer test when disabled
         self._san = None
+        #: observability handle (repro.obs.Observability) or None — same
+        #: single-pointer-test discipline as the sanitizer
+        self._obs = None
+        #: origin-stamping hook (obs tracing only; the sanitizer stamps
+        #: through its own note_scheduled when both are installed)
+        self._obs_stamp = None
 
     # ------------------------------------------------------------------ time
     @property
     def now(self) -> float:
         """Current virtual time, in seconds."""
         return self._now
+
+    @property
+    def recycled_events(self) -> int:
+        """Events served from the free list instead of a fresh allocation.
+
+        Every insert either recycles or allocates, so this is derived from
+        the monotonic sequence counter rather than maintained with an
+        increment on the recycling hot path.
+        """
+        return self._seq - self.allocated_events
+
+    @property
+    def cancelled_events(self) -> int:
+        """``cancel()`` calls on live events (timer churn; metrics section).
+
+        Derived — every inserted event either fires, is cancelled, was
+        dropped by :meth:`clear`, or is still pending — so the cancel hot
+        path carries no extra increment.  (Cancelling an event that a
+        ``clear()`` already dropped is not counted; the event was dead.)
+        """
+        return (self._seq - self.executed_events
+                - self._pending - self._cleared_events)
 
     def allocate_pid(self) -> int:
         """Next process id (per-simulator, so co-hosted runs stay deterministic)."""
@@ -207,9 +244,12 @@ class Simulator:
             event._epoch = self._epoch
             event._overflow = False
         else:
+            self.allocated_events += 1
             event = ScheduledEvent(when, seq, callback, args, self, self._epoch)
         if san is not None:
             san.note_scheduled(event)
+        elif self._obs_stamp is not None:
+            self._obs_stamp(event)
         self._pending += 1
         if not self._use_wheel:
             heappush(self._heap, event)
@@ -406,7 +446,14 @@ class Simulator:
         event.fired = True
         self._pending -= 1
         self.executed_events += 1
-        event.callback(*event.args)
+        obs = self._obs
+        if obs is None:
+            event.callback(*event.args)
+        else:
+            # Observed dispatch (ring/trace/profile): every reference the
+            # observer takes dies before run_event returns, so the refcount
+            # gate below still sees exactly the expected handles.
+            obs.run_event(event)
         # refs here: caller's local + our parameter + getrefcount argument.
         # Anything above 3 means an external handle survived — don't recycle.
         if _getrefcount is not None and _getrefcount(event) == 3 \
@@ -460,6 +507,9 @@ class Simulator:
         ready = self._ready
         cursor = self._cursor
         free = self._free
+        # Hoisted once per run(): observability installs before the run
+        # starts, so the per-event test is a local load, not an attribute.
+        obs = self._obs
         while not self._stop_requested:
             while ready and ready[0][2].cancelled:
                 event = ready.popleft()[2]
@@ -501,7 +551,10 @@ class Simulator:
             event.fired = True
             self._pending -= 1
             self.executed_events += 1
-            event.callback(*event.args)
+            if obs is None:
+                event.callback(*event.args)
+            else:
+                obs.run_event(event)
             # refs here: the popped entry tuple + the event local +
             # getrefcount's argument.  More means an external handle exists.
             if _getrefcount is not None and _getrefcount(event) == 3 \
@@ -533,6 +586,7 @@ class Simulator:
     def clear(self) -> None:
         """Drop all pending events (the clock is left unchanged)."""
         self._epoch += 1
+        self._cleared_events += self._pending
         self._pending = 0
         self._heap.clear()
         self._ready.clear()

@@ -58,11 +58,18 @@ class Violation:
     time: float
     detail: str
     provenance: str = ""
+    #: last-K flight-recorder entries (rendered, oldest first) captured at
+    #: record time when a recorder is attached — the events and spans the
+    #: simulation dispatched right before the breach
+    ring: Optional[List[str]] = None
 
     def render(self) -> str:
         text = f"[{self.kind}] t={self.time:.6f}: {self.detail}"
         if self.provenance:
             text += f" (provenance: {self.provenance})"
+        if self.ring:
+            context = "\n".join(f"    {line}" for line in self.ring)
+            text += f"\n  ring (last {len(self.ring)} dispatches):\n{context}"
         return text
 
 
@@ -103,6 +110,9 @@ class Sanitizer:
         #: event itself, so the sanitizer never holds a reference that would
         #: trip the kernel's refcount-gated free-list recycling
         self.current: Optional[tuple] = None
+        #: flight recorder (repro.obs.FlightRecorder) whose last entries are
+        #: attached to violation reports; wired by the deployment harness
+        self.recorder: Optional[Any] = None
         self._installed = False
 
     # ------------------------------------------------------------ lifecycle
@@ -140,6 +150,12 @@ class Sanitizer:
                               provenance=provenance)
         self.counts[kind] = self.counts.get(kind, 0) + 1
         if len(self.violations) < MAX_RECORDED:
+            recorder = self.recorder
+            if recorder is not None:
+                # Snapshot the recent-dispatch ring into the report — the
+                # full causal context, not just the one offending event.
+                from repro.obs import RING_CONTEXT
+                violation.ring = recorder.snapshot(last=RING_CONTEXT)
             self.violations.append(violation)
         if self.strict:
             raise SanitizerError(violation.render())
