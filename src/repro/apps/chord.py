@@ -476,7 +476,9 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
                        churn_trace: Optional[str] = None,
                        sanitize: bool = False, metrics: bool = False,
                        trace_out: Optional[str] = None, profile: bool = False,
-                       log_level: str = "INFO") -> dict:
+                       log_level: str = "INFO",
+                       bw_alloc: str = "max-min",
+                       bw_global: bool = False) -> dict:
     """Run the flagship Chord-under-churn scenario and return the report dict.
 
     ``join_window`` and ``settle`` default to values scaled with the ring
@@ -502,7 +504,8 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
         testbed=testbed, options={"bits": bits},
         join_window=join_window, settle=settle, ctl_shards=ctl_shards,
         sanitize=sanitize, metrics=metrics, trace_out=trace_out,
-        profile=profile, log_level=log_level)
+        profile=profile, log_level=log_level, bw_alloc=bw_alloc,
+        bw_global=bw_global)
     sim, job = deployment.sim, deployment.job
 
     def _owner(job, key):

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Set
 
 from repro.lib.rpc import RpcError
 from repro.net.address import NodeRef
+from repro.net.bwalloc import BULK
 from repro.sim.rng import substream
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -142,7 +143,8 @@ class SwarmNode:
         self._uploads += 1
         try:
             destination = NodeRef.coerce(requester)
-            yield self.socket.transfer(destination, self.chunk_size)
+            yield self.socket.transfer(destination, self.chunk_size,
+                                       priority=BULK)
             self.stats.chunks_uploaded += 1
             return {"ok": True}
         finally:
@@ -245,7 +247,9 @@ def run_dissemination_scenario(nodes: int = 50, hosts: Optional[int] = None,
                                sanitize: bool = False, metrics: bool = False,
                                trace_out: Optional[str] = None,
                                profile: bool = False,
-                               log_level: str = "INFO") -> dict:
+                               log_level: str = "INFO",
+                               bw_alloc: str = "max-min",
+                               bw_global: bool = False) -> dict:
     """Run the chunk-swarming workload and return the report dict.
 
     Every non-seed node is one measured operation: its latency is the time
@@ -265,7 +269,8 @@ def run_dissemination_scenario(nodes: int = 50, hosts: Optional[int] = None,
         testbed=testbed, options={"chunks": chunks, "chunk_size": chunk_size},
         join_window=join_window, settle=settle, ctl_shards=ctl_shards,
         sanitize=sanitize, metrics=metrics, trace_out=trace_out,
-        profile=profile, log_level=log_level)
+        profile=profile, log_level=log_level, bw_alloc=bw_alloc,
+        bw_global=bw_global)
     sim, job = deployment.sim, deployment.job
 
     horizon = deployment.measure_start + max(120.0, 0.02 * chunks * nodes)

@@ -281,7 +281,9 @@ def run_gossip_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
                         churn_trace: Optional[str] = None,
                         sanitize: bool = False, metrics: bool = False,
                         trace_out: Optional[str] = None, profile: bool = False,
-                        log_level: str = "INFO") -> dict:
+                        log_level: str = "INFO",
+                        bw_alloc: str = "max-min",
+                        bw_global: bool = False) -> dict:
     """Run the epidemic-broadcast workload and return the report dict.
 
     ``broadcasts`` messages are published from random live nodes once churn
@@ -303,7 +305,8 @@ def run_gossip_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
         testbed=testbed, options={"fanout": fanout, "view_size": view_size},
         join_window=join_window, settle=settle, ctl_shards=ctl_shards,
         sanitize=sanitize, metrics=metrics, trace_out=trace_out,
-        profile=profile, log_level=log_level)
+        profile=profile, log_level=log_level, bw_alloc=bw_alloc,
+        bw_global=bw_global)
     sim, job = deployment.sim, deployment.job
 
     published: List[Tuple[str, float]] = []

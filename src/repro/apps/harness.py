@@ -140,7 +140,7 @@ def summarise(results: List[OpResult]) -> dict:
 DIGEST_EXCLUDED_KEYS = frozenset({"kernel", "ctl_shards", "control_plane",
                                   "testbed", "sanitizer",
                                   "metrics", "trace", "profile",
-                                  "flight_recorder"})
+                                  "flight_recorder", "bw_alloc"})
 
 
 def report_digest(report: dict) -> str:
@@ -209,6 +209,10 @@ class Deployment:
     observability: Optional[object] = None
     #: destination file for the Chrome trace-event JSON, or ``None``
     trace_out: Optional[str] = None
+    #: bandwidth allocator selected with ``--bw-alloc``
+    bw_alloc: str = "max-min"
+    #: ``True`` when ``--bw-global`` forced brute-force recomputation
+    bw_global: bool = False
 
 
 def scaled_windows(nodes: int, join_window: Optional[float],
@@ -244,7 +248,8 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
            warmup_grace: float = 60.0, ctl_shards: int = 1,
            sanitize: bool = False, metrics: bool = False,
            trace_out: Optional[str] = None, profile: bool = False,
-           log_level: str = "INFO") -> Deployment:
+           log_level: str = "INFO", bw_alloc: str = "max-min",
+           bw_global: bool = False) -> Deployment:
     """Build the substrate, register daemons, submit and start the job.
 
     ``testbed`` names the environment preset (:mod:`repro.testbeds`) the
@@ -266,6 +271,11 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
     All of it is observation-only and digest-excluded, so every flag
     combination yields byte-identical report digests.  ``log_level`` sets
     the job's minimum log severity (the paper's controller-set verbosity).
+    ``bw_alloc`` selects the flow-level bandwidth allocation strategy
+    (:mod:`repro.net.bwalloc`) and ``bw_global`` disables the incremental
+    connected-component recomputation (brute-force full recompute on every
+    flow change) — for the default ``max-min`` the two recomputation modes
+    are bit-identical, so only the allocator *choice* can move digests.
     """
     sim = Simulator(seed, kernel=kernel)
     sanitizer = None
@@ -287,6 +297,7 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
 
     built = testbed_spec.build(sim, ips, seed)
     network = built.network
+    network.bandwidth.configure(allocator=bw_alloc, incremental=not bw_global)
     if sanitizer is not None:
         sanitizer.watch_network(network)
 
@@ -325,7 +336,8 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
                       join_window=join_window, settle=settle,
                       warmup_end=warmup_end, churn_end=churn_end,
                       measure_start=churn_end + settle, sanitizer=sanitizer,
-                      observability=observability, trace_out=trace_out)
+                      observability=observability, trace_out=trace_out,
+                      bw_alloc=bw_alloc, bw_global=bw_global)
 
 
 # -------------------------------------------------------------------- drivers
@@ -425,6 +437,16 @@ def base_report(scenario: str, deployment: Deployment, bits: Optional[int] = Non
             "bytes_sent": network.stats.bytes_sent,
         },
         "rpc": rpc_totals(job),
+        # Digest-excluded (DIGEST_EXCLUDED_KEYS): the allocator *choice* is
+        # execution configuration; its effects land in the digest-relevant
+        # sections above (and for max-min are pinned byte-identical).
+        "bw_alloc": {
+            "allocator": network.bandwidth.allocator_name,
+            "incremental": network.bandwidth.incremental,
+            "reallocations": network.bandwidth.reallocations,
+            "flows_allocated": network.bandwidth.flows_allocated,
+            "by_class": network.bandwidth.class_stats(),
+        },
         "log_records_collected": len(controller.job_logs(job)),
         "log_records_dropped": job.stats.log_records_dropped,
         "control_plane": controller.control_plane_status(),

@@ -508,7 +508,9 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
                         churn_trace: Optional[str] = None,
                         sanitize: bool = False, metrics: bool = False,
                         trace_out: Optional[str] = None, profile: bool = False,
-                        log_level: str = "INFO") -> dict:
+                        log_level: str = "INFO",
+                        bw_alloc: str = "max-min",
+                        bw_global: bool = False) -> dict:
     """Run Pastry under (optional) churn and return the report dict."""
     from repro.apps import harness
     from repro.sim.process import Process
@@ -523,7 +525,8 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
         testbed=testbed, options={"bits": bits, "base_bits": base_bits},
         join_window=join_window, settle=settle, ctl_shards=ctl_shards,
         sanitize=sanitize, metrics=metrics, trace_out=trace_out,
-        profile=profile, log_level=log_level)
+        profile=profile, log_level=log_level, bw_alloc=bw_alloc,
+        bw_global=bw_global)
     sim, job = deployment.sim, deployment.job
 
     def _owner(job, key):

@@ -49,6 +49,7 @@ from repro.core.churn import (
     parse_churn_script,
     synthetic_churn_script,
 )
+from repro.net.bwalloc import allocator_names
 from repro.sim.kernel import Simulator
 from repro.testbeds import testbed_names
 
@@ -125,7 +126,7 @@ def _print_report(report: dict, spec: registry.ScenarioSpec) -> None:
 #: CSV columns emitted by ``scenarios bench`` (one row per grid cell+kernel)
 BENCH_CSV_COLUMNS = [
     "row_type", "workload", "testbed", "kernel", "nodes", "hosts", "churn_rate",
-    "ctl_shards", "seed", "seeds", "jobs",
+    "ctl_shards", "bw_alloc", "seed", "seeds", "jobs",
     "wall_sec", "virtual_time", "events_executed", "events_per_sec",
     "events_per_sec_ci95", "wall_per_virtual_sec", "peak_rss_kb",
     "lookups_issued", "lookups_correct", "success_rate",
@@ -291,6 +292,7 @@ def _bench_scenario_row(spec: registry.ScenarioSpec, kernel: str, nodes: int,
         "hosts": report["hosts"],
         "churn_rate": churn_rate,
         "ctl_shards": report.get("ctl_shards", 1),
+        "bw_alloc": (report.get("bw_alloc") or {}).get("allocator", "max-min"),
         "seed": seed,
         "wall_sec": round(wall, 4),
         "virtual_time": round(virtual, 3),
@@ -332,6 +334,10 @@ def _bench_task_row(task: dict) -> dict:
     if kind == "micro":
         row = _kernel_timer_churn(task["kernel"], task["nodes"],
                                   duration=task["duration"])
+    elif kind == "bwalloc":
+        row = _bwalloc_step_bench(task["allocator"], task["flows"],
+                                  task["mode"], seed=task["seed"],
+                                  steps=task["steps"])
     else:
         spec = registry.get_spec(task["workload"])
         start = time.perf_counter()  # det: ignore[DET102] -- bench wall timing
@@ -578,16 +584,191 @@ def run_scale_bench(scales: Optional[List[int]] = None, jobs: int = 1,
     }
 
 
+# -------------------------------------------------------------------- bwalloc
+#: concurrent-flow counts of the allocation-step profile (``bench --bwalloc``)
+DEFAULT_BWALLOC_FLOWS = [100, 500]
+
+
+def _bwalloc_step_bench(allocator: str, flows: int, mode: str, seed: int = 7,
+                        steps: int = 300, repeats: int = 3) -> dict:
+    """Allocation-step microbenchmark: flow churn against one allocator.
+
+    Builds a standalone :class:`~repro.net.bandwidth.BandwidthModel` with one
+    10 Mbps host per flow, ramps up to ``flows`` concurrent never-finishing
+    transfers with random endpoints, then measures the wall time of ``steps``
+    churn steps (cancel one random flow, start a replacement — two rate
+    recomputations each).  ``mode`` selects incremental component-walk
+    recomputation or the ``--bw-global`` brute force; the reported
+    events/sec is *reallocations per second*, the number the incremental
+    engine exists to raise.  Incremental cells also verify the final rate
+    vector bit-identically matches a global recompute (``rates_match``) —
+    the runtime half of the oracle test in ``tests/test_bwalloc.py``.
+    """
+    from repro.net.bandwidth import BandwidthModel
+    from repro.sim.rng import substream
+
+    incremental = mode == "incremental"
+    host_count = flows
+    ips = harness.host_ips(host_count)
+    wall = float("inf")
+    rates_match = True
+    realloc_steps = 0
+    for _ in range(max(1, repeats)):
+        sim = Simulator(seed)
+        model = BandwidthModel(sim)
+        model.configure(allocator=allocator, incremental=incremental)
+        for ip in ips:
+            model.set_capacity(ip, 10_000_000, 10_000_000)
+        rng = substream(seed, "bwalloc-bench", allocator, mode, str(flows))
+
+        def start_flow():
+            src = rng.randrange(host_count)
+            dst = rng.randrange(host_count - 1)
+            if dst >= src:
+                dst += 1
+            # Large enough that no flow finishes during the measured loop:
+            # every recomputation is driven by the churn steps themselves.
+            return model.transfer(ips[src], ips[dst], 1e15)
+
+        active = [start_flow() for _ in range(flows)]
+        before = model.reallocations
+        start = time.perf_counter()  # det: ignore[DET102] -- bench wall timing
+        for _ in range(steps):
+            victim = active.pop(rng.randrange(len(active)))
+            model.cancel_transfer(victim)
+            active.append(start_flow())
+        elapsed = time.perf_counter() - start  # det: ignore[DET102] -- bench wall timing
+        realloc_steps = model.reallocations - before
+        wall = min(wall, elapsed)
+        if incremental:
+            # Oracle cross-check: replaying the final state through a global
+            # recompute must reproduce the incremental rates bit for bit.
+            expected = [(t.transfer_id, t.rate_bps) for t in model._active]
+            model._incremental = False
+            model._reallocate()
+            got = [(t.transfer_id, t.rate_bps) for t in model._active]
+            if got != expected:
+                rates_match = False
+    return {
+        "row_type": "bwalloc",
+        "workload": "",
+        "testbed": "",
+        "kernel": mode,
+        "nodes": flows,
+        "hosts": host_count,
+        "churn_rate": "",
+        "ctl_shards": "",
+        "bw_alloc": allocator,
+        "seed": seed,
+        "seeds": 1,
+        "events_per_sec_ci95": "",
+        "wall_sec": round(wall, 4),
+        "virtual_time": "",
+        "events_executed": realloc_steps,
+        "events_per_sec": round(realloc_steps / wall, 1) if wall > 0 else 0.0,
+        "wall_per_virtual_sec": "",
+        "success_rate": 1.0 if rates_match else 0.0,
+    }
+
+
+def run_bwalloc_bench(allocators: Optional[List[str]] = None,
+                      flows_list: Optional[List[int]] = None,
+                      steps: int = 300, seed: int = 7, jobs: int = 1,
+                      quiet: bool = False) -> dict:
+    """The allocation-step profile: incremental vs global recompute throughput.
+
+    Every ``(allocator, flows)`` cell runs in both recomputation modes; the
+    summary's ``speedups["bwalloc"]`` carries the incremental/global
+    reallocations-per-second ratio per cell (the machine-independent number
+    the CI leg gates with ``--bwalloc-min-speedup``).  Incremental cells
+    whose final rates diverge from the global oracle land in ``mismatches``
+    — a correctness failure, not a perf number.
+    """
+    def say(text: str) -> None:
+        if not quiet:
+            print(text, flush=True)
+
+    if jobs < 1:
+        raise ValueError("bench needs at least one worker")
+    allocator_list = list(allocators) if allocators else ["max-min"]
+    flows_sweep = list(flows_list) if flows_list else list(DEFAULT_BWALLOC_FLOWS)
+    tasks = []
+    for allocator in allocator_list:
+        for flows in flows_sweep:
+            for mode in ("incremental", "global"):
+                tasks.append({"kind": "bwalloc", "allocator": allocator,
+                              "flows": flows, "mode": mode, "seed": seed,
+                              "steps": steps})
+    results = iter(_run_bench_tasks(tasks, jobs))
+    rows: List[dict] = []
+    mismatches: List[str] = []
+    for allocator in allocator_list:
+        for flows in flows_sweep:
+            per_mode = {}
+            for mode in ("incremental", "global"):
+                row = next(results)
+                row["jobs"] = jobs
+                rows.append(row)
+                per_mode[mode] = row["events_per_sec"]
+                say(f"bwalloc allocator={allocator} flows={flows} mode={mode}: "
+                    f"{row['events_per_sec']:.0f} reallocations/s, "
+                    f"wall={row['wall_sec']:.3f}s")
+                if mode == "incremental" and row["success_rate"] < 1.0:
+                    mismatches.append(
+                        f"allocator={allocator} flows={flows}: incremental "
+                        f"rates diverge from the global recompute oracle")
+            if per_mode.get("global"):
+                say(f"bwalloc allocator={allocator} flows={flows}: "
+                    f"incremental/global speedup "
+                    f"{per_mode['incremental'] / per_mode['global']:.2f}x")
+    return {
+        "bench": "bwalloc",
+        "config": {
+            "allocators": allocator_list,
+            "flows": flows_sweep,
+            "steps": steps,
+            "seed": seed,
+            "jobs": jobs,
+        },
+        "rows": rows,
+        "speedups": _bench_speedups(rows),
+        "mismatches": mismatches,
+    }
+
+
+def _bwalloc_speedup_failures(summary: dict, min_speedup: float) -> List[str]:
+    """Cells whose incremental/global ratio falls below ``min_speedup``."""
+    failures = []
+    for cell, ratio in (summary.get("speedups", {}).get("bwalloc") or {}).items():
+        if ratio < min_speedup:
+            failures.append(f"{cell}: incremental/global speedup {ratio:.2f}x "
+                            f"is below the required {min_speedup:.1f}x")
+    return failures
+
+
 def _bench_speedups(rows: List[dict]) -> dict:
-    """wheel-over-heap events/sec ratios, keyed by row type and grid cell."""
+    """Events/sec ratios keyed by row type and grid cell.
+
+    For scenario/kernel/scale rows the ratio is wheel over heap; for
+    ``bwalloc`` rows (whose ``kernel`` column carries the recomputation
+    mode) it is incremental over global — the number the allocation-step
+    CI leg gates.
+    """
     speedups: dict = {"scenario": {}, "kernel": {}}
     by_cell: dict = {}
     for row in rows:
         cell = (row["row_type"], row.get("workload", ""), row["nodes"],
-                row.get("hosts", ""), row.get("churn_rate", ""))
+                row.get("hosts", ""), row.get("churn_rate", ""),
+                row.get("bw_alloc", ""))
         by_cell.setdefault(cell, {})[row["kernel"]] = row["events_per_sec"]
-    for (row_type, workload, nodes, hosts, rate), per_kernel in sorted(
+    for (row_type, workload, nodes, hosts, rate, bw_alloc), per_kernel in sorted(
             by_cell.items(), key=str):
+        if row_type == "bwalloc":
+            if per_kernel.get("global"):
+                key = f"allocator={bw_alloc},flows={nodes}"
+                speedups.setdefault(row_type, {})[key] = round(
+                    per_kernel["incremental"] / per_kernel["global"], 3)
+            continue
         if "wheel" in per_kernel and per_kernel.get("heap"):
             key = f"nodes={nodes}"
             if workload:
@@ -696,6 +877,15 @@ def _add_common_arguments(parser: argparse.ArgumentParser,
                              "monotonicity, free-list integrity, future "
                              "legality, listener/bandwidth consistency); "
                              "observation-only, results are identical")
+    parser.add_argument("--bw-alloc", choices=allocator_names(),
+                        default="max-min", metavar="NAME",
+                        help="flow-level bandwidth allocation strategy "
+                             f"({', '.join(allocator_names())}; the default "
+                             "max-min keeps the historical digests)")
+    parser.add_argument("--bw-global", action="store_true",
+                        help="recompute every flow's rate on each change "
+                             "instead of only the changed flow's connected "
+                             "component (bit-identical results, slower)")
     parser.add_argument("--cdf", type=str, default=None, metavar="PATH",
                         help="write the measured latency CDF as "
                              "(latency_ms, fraction) CSV to PATH")
@@ -755,7 +945,8 @@ def _run_scenario_cli(spec: registry.ScenarioSpec, args: argparse.Namespace) -> 
                   ctl_shards=args.ctl_shards, sanitize=args.sanitize,
                   metrics=args.metrics or bool(args.metrics_out),
                   trace_out=args.trace_out, profile=args.profile,
-                  log_level=args.log_level)
+                  log_level=args.log_level, bw_alloc=args.bw_alloc,
+                  bw_global=args.bw_global)
     kwargs.update(spec.make_kwargs(args))
     report = spec.runner(**kwargs)
     _print_report(report, spec)
@@ -877,6 +1068,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--scales", type=int, nargs="+",
                        default=DEFAULT_SCALE_NODES, metavar="NODES",
                        help="node counts swept by --scale")
+    bench.add_argument("--bwalloc", action="store_true",
+                       help="allocation-step profile instead of the grid: "
+                            "flow churn against standalone bandwidth models, "
+                            "incremental vs global recompute per cell")
+    bench.add_argument("--bwalloc-flows", type=int, nargs="+",
+                       default=DEFAULT_BWALLOC_FLOWS, metavar="FLOWS",
+                       help="concurrent-flow counts swept by --bwalloc")
+    bench.add_argument("--bwalloc-allocators", choices=allocator_names(),
+                       nargs="+", default=["max-min"], metavar="NAME",
+                       help="allocators swept by --bwalloc")
+    bench.add_argument("--bwalloc-steps", type=int, default=300, metavar="N",
+                       help="churn steps measured per --bwalloc cell")
+    bench.add_argument("--bwalloc-min-speedup", type=float, default=0.0,
+                       metavar="RATIO",
+                       help="fail (exit 4) when any --bwalloc cell's "
+                            "incremental/global speedup is below RATIO")
     bench.add_argument("--csv", type=str, default=None,
                        help="CSV output path (default bench_kernel.csv, or "
                             "bench_scale.csv with --scale)")
@@ -905,10 +1112,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.scenario == "bench":
         csv_path = args.csv or ("bench_scale.csv" if args.scale
+                                else "bench_bwalloc.csv" if args.bwalloc
                                 else "bench_kernel.csv")
         json_path = args.json or ("BENCH_scale.json" if args.scale
+                                  else "BENCH_bwalloc.json" if args.bwalloc
                                   else "BENCH_kernel.json")
-        if args.scale:
+        if args.bwalloc:
+            summary = run_bwalloc_bench(allocators=args.bwalloc_allocators,
+                                        flows_list=args.bwalloc_flows,
+                                        steps=args.bwalloc_steps,
+                                        seed=args.seed, jobs=args.jobs,
+                                        quiet=args.quiet)
+        elif args.scale:
             summary = run_scale_bench(scales=args.scales, jobs=args.jobs,
                                       seed=args.seed, lookups=args.lookups,
                                       kernel=args.kernels[0],
@@ -939,6 +1154,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             for line in summary["mismatches"]:
                 print(f"DETERMINISM FAIL: {line}", file=sys.stderr)
             status = 3
+        if args.bwalloc and args.bwalloc_min_speedup > 0:
+            failures = _bwalloc_speedup_failures(summary,
+                                                 args.bwalloc_min_speedup)
+            for line in failures:
+                print(f"PERF REGRESSION: {line}", file=sys.stderr)
+            if failures:
+                status = status or 4
         if args.check:
             try:
                 with open(args.check, "r", encoding="utf-8") as handle:

@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.lib.sbsocket import RestrictedSocket, SocketRestrictionError
 from repro.net.address import Address, NodeRef
+from repro.net.bwalloc import CONTROL
 from repro.net.message import Message
 from repro.sim.events_api import Events
 from repro.sim.futures import Future, FutureState
@@ -233,7 +234,7 @@ class RpcService:
         else:
             payload["error"] = error
         try:
-            self.socket.send(dst, payload, kind="rpc")
+            self.socket.send(dst, payload, kind="rpc", priority=CONTROL)
             self.stats.replies_sent += 1
         except SocketRestrictionError:
             # The instance died or hit its budget mid-reply; the caller will
@@ -381,7 +382,8 @@ class _PendingCall:
             stats.retries += 1
         stats.calls_sent += 1
         try:
-            service.socket.send(self.dst, self.payload, kind="rpc")
+            service.socket.send(self.dst, self.payload, kind="rpc",
+                                priority=CONTROL)
         except SocketRestrictionError as exc:
             stats.send_failures += 1
             service._pending.pop(self.call_id, None)

@@ -17,6 +17,7 @@ from typing import Any, Callable, List, Optional
 from repro.core.blacklist import Blacklist
 from repro.lib.serializer import estimate_size
 from repro.net.address import Address, NodeRef
+from repro.net.bwalloc import BULK, LOOKUP
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.sim.events_api import AppContext
@@ -133,7 +134,8 @@ class RestrictedSocket:
 
     # ---------------------------------------------------------------- sending
     def send(self, dst: "Address | NodeRef | dict | str", payload: Any,
-             size: Optional[int] = None, kind: str = "data") -> Future:
+             size: Optional[int] = None, kind: str = "data",
+             priority: int = LOOKUP) -> Future:
         """Send one message to ``dst``; returns the network delivery future."""
         self._check_closed()
         dst_address = _coerce_address(dst)
@@ -148,9 +150,11 @@ class RestrictedSocket:
             dropped = Future(name="sbsocket.drop")
             dropped.set_result(False)
             return dropped
-        return self.network.send(self.local, dst_address, payload, size, kind=kind)
+        return self.network.send(self.local, dst_address, payload, size, kind=kind,
+                                 priority=priority)
 
-    def transfer(self, dst: "Address | NodeRef | dict | str", nbytes: float) -> Future:
+    def transfer(self, dst: "Address | NodeRef | dict | str", nbytes: float,
+                 priority: int = BULK) -> Future:
         """Bulk transfer (charged against the traffic budget)."""
         self._check_closed()
         dst_address = _coerce_address(dst)
@@ -158,7 +162,8 @@ class RestrictedSocket:
         self._enforce_budget(int(nbytes))
         self._charge_socket()
         self.stats.bytes_sent += int(nbytes)
-        future = self.network.transfer(self.local, dst_address, nbytes)
+        future = self.network.transfer(self.local, dst_address, nbytes,
+                                       priority=priority)
         future.add_done_callback(lambda _f: self._release_socket())
         return future
 

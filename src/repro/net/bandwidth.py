@@ -1,18 +1,31 @@
-"""Flow-level bandwidth model (max-min fair sharing of access links).
+"""Flow-level bandwidth model (pluggable fair sharing of access links).
 
 Bulk data transfers (BitTorrent pieces, tree-dissemination blocks, web cache
 objects) are simulated at flow level: every host has an uplink and a downlink
-capacity, and the rates of all concurrent transfers are the max-min fair
-allocation over those access links.  Rates are recomputed whenever a transfer
-starts or completes, which is exact for this link model and fast enough for
-the paper's experiment sizes (tens to a few hundred concurrent flows).
+capacity, and the rates of all concurrent transfers are computed by a
+pluggable :mod:`~repro.net.bwalloc` allocator (max-min fairness by default)
+over those access links.  Rates are recomputed whenever a transfer starts,
+completes or is cancelled, which is exact for this link model.
+
+Recomputation is **incremental** by default: a flow arriving or leaving can
+only change the rates of flows it (transitively) shares an access link with,
+so :meth:`BandwidthModel._reallocate` walks the connected component of the
+flow/link graph around the changed flows and re-allocates just that
+component.  Every registered allocator is per-component decomposable (no
+global normalisation terms), which makes the incremental rates *bit-identical*
+to a full recompute — the oracle test in ``tests/test_bwalloc.py`` replays
+hundreds of random steps asserting exactly that, and ``--bw-global`` forces
+the brute-force path at runtime.  At dissemination scale (thousands of
+mostly-disjoint swarming flows) the component walk is what keeps the
+allocation step off the profile.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Tuple
 
+from repro.net import bwalloc
+from repro.net.bwalloc import BULK, BandwidthAllocator, make_allocator
 from repro.sim.futures import Future
 from repro.sim.kernel import ScheduledEvent, Simulator
 
@@ -24,10 +37,11 @@ class Transfer:
     """One in-flight bulk transfer."""
 
     __slots__ = ("transfer_id", "src_ip", "dst_ip", "total_bytes", "remaining_bytes",
-                 "rate_bps", "started_at", "done", "cancelled")
+                 "rate_bps", "started_at", "accrued_at", "priority", "done",
+                 "cancelled")
 
     def __init__(self, src_ip: str, dst_ip: str, nbytes: float, started_at: float,
-                 transfer_id: int = 0):
+                 transfer_id: int = 0, priority: int = BULK):
         self.transfer_id = transfer_id
         self.src_ip = src_ip
         self.dst_ip = dst_ip
@@ -35,16 +49,31 @@ class Transfer:
         self.remaining_bytes = float(nbytes)
         self.rate_bps = 0.0
         self.started_at = started_at
+        #: virtual time up to which ``remaining_bytes`` is accurate; progress
+        #: between rate recomputations is extrapolated from here
+        self.accrued_at = started_at
+        #: bwalloc priority class (CONTROL/LOOKUP/BULK)
+        self.priority = priority
         #: completes with the finish time (seconds) once all bytes are delivered.
         #: Unnamed on purpose: formatting a label per transfer was measurable
         #: on dissemination workloads, and repr() can rebuild it on demand.
         self.done: Future = Future()
         self.cancelled = False
 
-    @property
-    def bytes_transferred(self) -> float:
-        """Bytes delivered so far (as of the last rate recomputation)."""
-        return self.total_bytes - self.remaining_bytes
+    def bytes_transferred(self, now: Optional[float] = None) -> float:
+        """Bytes delivered so far.
+
+        ``remaining_bytes`` is only settled when rates change, so between
+        recomputations the accrued figure goes stale.  Passing ``now``
+        extrapolates along the current rate from the last settlement
+        (clamped to the transfer size); omitting it returns the settled
+        value as of the last rate recomputation.
+        """
+        accrued = self.total_bytes - self.remaining_bytes
+        if now is None:
+            return accrued
+        in_flight = self.rate_bps * max(0.0, now - self.accrued_at) / 8.0
+        return min(self.total_bytes, accrued + in_flight)
 
     def duration_so_far(self, now: float) -> float:
         """Elapsed time since the transfer started, in seconds."""
@@ -55,8 +84,19 @@ class Transfer:
                 f"{self.remaining_bytes:.0f}/{self.total_bytes:.0f}B @{self.rate_bps:.0f}bps>")
 
 
+#: a transfer's two access links, in the fixed enumeration order every
+#: allocator and the component walk share
+def _links_of(transfer: Transfer) -> Tuple[Tuple[str, str], Tuple[str, str]]:
+    return ("up", transfer.src_ip), ("down", transfer.dst_ip)
+
+
 class BandwidthModel:
-    """Max-min fair sharing of per-host uplink/downlink capacities."""
+    """Fair sharing of per-host uplink/downlink capacities.
+
+    The allocation strategy is pluggable (:meth:`configure`); the default is
+    the historical progressive-filling max-min fairness with incremental
+    connected-component recomputation.
+    """
 
     def __init__(self, sim: Simulator, default_uplink_bps: Optional[float] = None,
                  default_downlink_bps: Optional[float] = None):
@@ -65,19 +105,57 @@ class BandwidthModel:
         self.default_downlink_bps = default_downlink_bps or UNLIMITED_BPS
         self._capacities: Dict[str, Tuple[float, float]] = {}
         self._active: List[Transfer] = []
+        #: live transfers per access link (dict-as-ordered-set), the adjacency
+        #: the incremental component walk traverses.  Kept in lockstep with
+        #: ``_active`` by the add/remove paths; the sanitizer cross-checks it.
+        self._flows_on_link: Dict[Tuple[str, str], Dict[Transfer, None]] = {}
         self._last_update = 0.0
         self._completion_event: Optional[ScheduledEvent] = None
         # Per-model ids keep co-hosted seeded simulations reproducible (a
         # process-wide counter would interleave them).
         self._transfer_ids = 0
+        self._allocator: BandwidthAllocator = make_allocator("max-min", self)
+        self._incremental = True
         #: completed transfer count (for stats/tests)
         self.completed = 0
         #: bytes fully delivered by completed transfers (metrics section)
         self.bytes_completed = 0.0
         #: transfers aborted mid-flight — explicit cancel or host failure
         self.preemptions = 0
+        #: per-priority-class splits of the two counters above
+        self.bytes_completed_by_class: Dict[int, float] = {}
+        self.preemptions_by_class: Dict[int, int] = {}
+        #: allocation-step accounting: recomputations run, and how many flows
+        #: each handed to the allocator (global recompute counts every live
+        #: flow; incremental counts only the touched component)
+        self.reallocations = 0
+        self.flows_allocated = 0
         #: runtime sanitizer (repro.sim.sanitizer) or None
         self._san: Optional[object] = None
+
+    # ---------------------------------------------------------- configuration
+    def configure(self, allocator: Optional[str] = None,
+                  incremental: Optional[bool] = None) -> None:
+        """Select the allocation strategy and/or the recomputation mode.
+
+        Safe mid-run: switching with live flows triggers one full recompute
+        so every rate reflects the new policy.
+        """
+        if allocator is not None:
+            self._allocator = make_allocator(allocator, self)
+        if incremental is not None:
+            self._incremental = incremental
+        if self._active:
+            self._advance_progress()
+            self._reallocate()
+
+    @property
+    def allocator_name(self) -> str:
+        return self._allocator.name
+
+    @property
+    def incremental(self) -> bool:
+        return self._incremental
 
     # ------------------------------------------------------------- capacities
     def set_capacity(self, ip: str, uplink_bps: Optional[float], downlink_bps: Optional[float]) -> None:
@@ -90,20 +168,23 @@ class BandwidthModel:
         return self._capacities.get(ip, (self.default_uplink_bps, self.default_downlink_bps))
 
     # --------------------------------------------------------------- transfers
-    def transfer(self, src_ip: str, dst_ip: str, nbytes: float) -> Transfer:
+    def transfer(self, src_ip: str, dst_ip: str, nbytes: float,
+                 priority: int = BULK) -> Transfer:
         """Start a bulk transfer of ``nbytes`` bytes; returns its :class:`Transfer`."""
         if nbytes < 0:
             raise ValueError("transfer size must be non-negative")
         self._transfer_ids += 1
         transfer = Transfer(src_ip, dst_ip, nbytes, self.sim.now,
-                            transfer_id=self._transfer_ids)
+                            transfer_id=self._transfer_ids, priority=priority)
         if nbytes == 0:
             transfer.done.set_result(self.sim.now)
             self.completed += 1
             return transfer
         self._advance_progress()
         self._active.append(transfer)
-        self._reallocate()
+        for link in _links_of(transfer):
+            self._flows_on_link.setdefault(link, {})[transfer] = None
+        self._reallocate(changed=(transfer,))
         return transfer
 
     def cancel_transfer(self, transfer: Transfer) -> None:
@@ -119,6 +200,8 @@ class BandwidthModel:
         transfer.cancelled = True
         transfer.done.cancel()
         self.preemptions += 1
+        self.preemptions_by_class[transfer.priority] = (
+            self.preemptions_by_class.get(transfer.priority, 0) + 1)
         self._reallocate()
 
     def cancel_host(self, ip: str) -> int:
@@ -136,6 +219,8 @@ class BandwidthModel:
         for transfer in victims:
             transfer.cancelled = True
             transfer.done.cancel()
+            self.preemptions_by_class[transfer.priority] = (
+                self.preemptions_by_class.get(transfer.priority, 0) + 1)
         self.preemptions += len(victims)
         self._reallocate()
         return len(victims)
@@ -158,10 +243,52 @@ class BandwidthModel:
                 transfer.remaining_bytes -= transfer.rate_bps * elapsed / 8.0
                 if transfer.remaining_bytes < 1e-6:
                     transfer.remaining_bytes = 0.0
+                transfer.accrued_at = now
         self._last_update = now
 
-    def _reallocate(self) -> None:
-        """Recompute max-min fair rates and schedule the next completion."""
+    def _component(self, seeds: List[Transfer]) -> List[Transfer]:
+        """Live transfers transitively sharing an access link with ``seeds``.
+
+        Walks the flow/link bipartite graph from the seeds' links and returns
+        the members sorted by ``transfer_id`` — the relative order they hold
+        in ``_active``, so the allocator sees the same enumeration (and hence
+        the same link insertion order and tie-breaks) a full recompute would.
+        """
+        flows_on_link = self._flows_on_link
+        seen_links: Dict[Tuple[str, str], None] = {}
+        frontier: List[Tuple[str, str]] = []
+        for transfer in seeds:
+            for link in _links_of(transfer):
+                if link not in seen_links:
+                    seen_links[link] = None
+                    frontier.append(link)
+        members: Dict[Transfer, None] = {}
+        while frontier:
+            link = frontier.pop()
+            for transfer in flows_on_link.get(link, ()):
+                if transfer in members:
+                    continue
+                members[transfer] = None
+                for other in _links_of(transfer):
+                    if other not in seen_links:
+                        seen_links[other] = None
+                        frontier.append(other)
+        return sorted(members, key=lambda t: t.transfer_id)
+
+    def _allocate_rates(self, transfers: List[Transfer]) -> List[float]:
+        """Allocator seam (tests monkeypatch this to inject rate schedules)."""
+        return self._allocator.allocate(transfers)
+
+    def _reallocate(self, changed: Tuple[Transfer, ...] = ()) -> None:
+        """Recompute rates and schedule the next completion.
+
+        ``changed`` lists transfers just *added*; transfers leaving (finished
+        or cancelled) are discovered by the partition pass below.  Together
+        they seed the incremental component walk: only flows sharing a
+        bottleneck link (transitively) with a changed flow can see their rate
+        move, so only that component is re-allocated.  With no seeds at all —
+        an external call, or ``--bw-global`` — every live flow is.
+        """
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None
@@ -171,35 +298,59 @@ class BandwidthModel:
         now = self.sim.now
         live: List[Transfer] = []
         finished: List[Transfer] = []
+        removed: List[Transfer] = []
         for transfer in self._active:
             if transfer.cancelled:
+                removed.append(transfer)
                 continue
             if transfer.remaining_bytes <= 0.0:
                 finished.append(transfer)
+                removed.append(transfer)
             else:
                 live.append(transfer)
         self._active = live
+        flows_on_link = self._flows_on_link
+        for transfer in removed:
+            for link in _links_of(transfer):
+                flows = flows_on_link.get(link)
+                if flows is not None:
+                    flows.pop(transfer, None)
+                    if not flows:
+                        del flows_on_link[link]
         for transfer in finished:
             transfer.done.set_result(now)
             self.completed += 1
             self.bytes_completed += transfer.total_bytes
+            self.bytes_completed_by_class[transfer.priority] = (
+                self.bytes_completed_by_class.get(transfer.priority, 0.0)
+                + transfer.total_bytes)
 
         if not self._active:
             return
 
-        rates = self._max_min_fair_rates(self._active)
-        for transfer, rate in zip(self._active, rates):
-            transfer.rate_bps = rate
+        seeds = [t for t in changed if not t.done.done()] + removed
+        if self._incremental and seeds:
+            targets = self._component(seeds)
+        else:
+            targets = self._active
+        if targets:
+            rates = self._allocate_rates(targets)
+            for transfer, rate in zip(targets, rates):
+                transfer.rate_bps = rate
+        self.reallocations += 1
+        self.flows_allocated += len(targets)
         if self._san is not None:
             self._san.check_flow_conservation(self)
+            self._san.check_flow_table(self)
 
         # Progressive filling can legitimately leave a flow at rate 0 (e.g. a
-        # shared uplink exhausted by a downlink-bottlenecked flow, or float
-        # dust zeroing a link's remaining capacity).  Zero-rate flows make no
-        # progress, so they must not drive the completion tick — and if every
-        # flow is stalled there is nothing to schedule: the next call to
-        # _reallocate (a transfer starting, completing or being cancelled
-        # frees capacity) re-ticks them.
+        # shared uplink exhausted by a downlink-bottlenecked flow, float dust
+        # zeroing a link's remaining capacity, or a strict-priority class
+        # starved outright).  Zero-rate flows make no progress, so they must
+        # not drive the completion tick — and if every flow is stalled there
+        # is nothing to schedule: the next call to _reallocate (a transfer
+        # starting, completing or being cancelled frees capacity) re-ticks
+        # them.
         finish_times = [t.remaining_bytes * 8.0 / t.rate_bps
                         for t in self._active if t.rate_bps > 0]
         if not finish_times:
@@ -212,56 +363,13 @@ class BandwidthModel:
         self._advance_progress()
         self._reallocate()
 
-    def _max_min_fair_rates(self, transfers: List[Transfer]) -> List[float]:
-        """Classic progressive-filling max-min fair allocation over access links.
-
-        Each link tracks how many of its flows are still unallocated, so the
-        share loop is O(links) per round instead of rescanning every link's
-        full flow list against the unallocated set (quadratic at the flow
-        counts the dissemination workload reaches).
-        """
-        links: Dict[Tuple[str, str], float] = {}
-        flows_on_link: Dict[Tuple[str, str], List[int]] = {}
-        flow_links: List[Tuple[Tuple[str, str], Tuple[str, str]]] = []
-        for index, transfer in enumerate(transfers):
-            up_link = ("up", transfer.src_ip)
-            down_link = ("down", transfer.dst_ip)
-            up, _ = self.capacity(transfer.src_ip)
-            _, down = self.capacity(transfer.dst_ip)
-            links.setdefault(up_link, up)
-            links.setdefault(down_link, down)
-            flows_on_link.setdefault(up_link, []).append(index)
-            flows_on_link.setdefault(down_link, []).append(index)
-            flow_links.append((up_link, down_link))
-
-        rates = [0.0] * len(transfers)
-        allocated = [False] * len(transfers)
-        n_unallocated = len(transfers)
-        remaining = dict(links)
-        pending_count = {link: len(flows) for link, flows in flows_on_link.items()}
-
-        while n_unallocated:
-            # Fair share currently offered by each link to its unallocated flows.
-            best_link = None
-            best_share = math.inf
-            for link, capacity in remaining.items():
-                count = pending_count[link]
-                if not count:
-                    continue
-                share = capacity / count
-                if share < best_share:
-                    best_share = share
-                    best_link = link
-            if best_link is None:
-                break
-            for flow in flows_on_link[best_link]:
-                if allocated[flow]:
-                    continue
-                rates[flow] = best_share
-                allocated[flow] = True
-                n_unallocated -= 1
-                # Reduce remaining capacity on every link this flow crosses.
-                for link in flow_links[flow]:
-                    remaining[link] = max(0.0, remaining[link] - best_share)
-                    pending_count[link] -= 1
-        return rates
+    def class_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-priority-class completed bytes and preemptions (for metrics)."""
+        stats: Dict[str, Dict[str, float]] = {}
+        for value, name in bwalloc.PRIORITY_NAMES.items():
+            bytes_done = self.bytes_completed_by_class.get(value, 0.0)
+            preempted = self.preemptions_by_class.get(value, 0)
+            if bytes_done or preempted:
+                stats[name] = {"bytes_completed": bytes_done,
+                               "preemptions": preempted}
+        return stats

@@ -13,6 +13,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.net.address import Address
 from repro.net.bandwidth import BandwidthModel, UNLIMITED_BPS
+from repro.net.bwalloc import BULK, LOOKUP
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.loss import LossModel
 from repro.net.message import Message
@@ -38,6 +39,9 @@ class NetworkStats:
     drops_dead_host: int = 0
     drops_loss: int = 0
     drops_no_listener: int = 0
+    #: bytes offered per bwalloc priority class (messages and transfers);
+    #: digest-excluded ``metrics`` report section only
+    bytes_by_class: Dict[int, int] = field(default_factory=dict)
     last_errors: List[str] = field(default_factory=list)
 
     def record_error(self, error: str, cap: int = 20) -> None:
@@ -172,7 +176,7 @@ class Network:
 
     # ------------------------------------------------------------------ send
     def send(self, src: Address, dst: Address, payload: Any, size: int,
-             kind: str = "data") -> Future:
+             kind: str = "data", priority: int = LOOKUP) -> Future:
         """Send one message; the returned future completes with ``True`` on delivery.
 
         Delivery requires the source and destination hosts to be alive and a
@@ -185,6 +189,8 @@ class Network:
         stats = self.stats
         stats.messages_sent += 1
         stats.bytes_sent += size
+        by_class = stats.bytes_by_class
+        by_class[priority] = by_class.get(priority, 0) + size
 
         # Aliveness probes are inlined (self.host_alive is a method call per
         # probe, and this path runs once per simulated message).
@@ -218,7 +224,7 @@ class Network:
             return outcome
 
         message = Message(src=src, dst=dst, payload=payload, size=size, kind=kind,
-                          sent_at=self.sim.now)
+                          sent_at=self.sim.now, priority=priority)
         delay = self._message_delay(src, dst, size)
         self.sim.schedule(delay, self._deliver, message, outcome)
         return outcome
@@ -291,19 +297,25 @@ class Network:
         outcome.set_result(True)
 
     # -------------------------------------------------------------- transfers
-    def transfer(self, src: Address, dst: Address, nbytes: float) -> Future:
+    def transfer(self, src: Address, dst: Address, nbytes: float,
+                 priority: int = BULK) -> Future:
         """Bulk transfer through the flow-level bandwidth model.
 
         The returned future completes with the finish time when the last byte
-        arrives, or is cancelled if either host fails mid-transfer.
+        arrives, or is cancelled if either host fails mid-transfer.  The
+        ``priority`` class is what priority-aware allocators schedule by.
         """
         result = Future()  # unnamed: transfers are hot in dissemination runs
         if not self.host_alive(src.ip) or not self.host_alive(dst.ip):
             result.cancel()
             return result
-        self.stats.transfers_started += 1
+        stats = self.stats
+        stats.transfers_started += 1
+        by_class = stats.bytes_by_class
+        by_class[priority] = by_class.get(priority, 0) + int(nbytes)
         propagation = self.latency.one_way(src.ip, dst.ip)
-        transfer = self.bandwidth.transfer(src.ip, dst.ip, nbytes)
+        transfer = self.bandwidth.transfer(src.ip, dst.ip, nbytes,
+                                           priority=priority)
 
         def _complete(fut: Future) -> None:
             if fut.cancelled():

@@ -244,6 +244,35 @@ class Sanitizer:
                     provenance=self.current_label())
 
     # ----------------------------------------------------- bandwidth seam
+    def check_flow_table(self, model: Any) -> None:
+        """The incremental flow/link table must mirror the live transfer list.
+
+        The component walk of ``BandwidthModel._reallocate`` trusts
+        ``_flows_on_link`` for adjacency; a stale entry silently shrinks or
+        inflates components, which breaks the bit-identical-to-global
+        guarantee long before any rate looks wrong.
+        """
+        expected: Dict[tuple, dict] = {}
+        for transfer in model._active:
+            expected.setdefault(("up", transfer.src_ip), {})[transfer] = None
+            expected.setdefault(("down", transfer.dst_ip), {})[transfer] = None
+        table = model._flows_on_link
+        for link, flows in expected.items():
+            have = table.get(link)
+            if have is None or set(have) != set(flows):
+                self.record(
+                    "bandwidth_table",
+                    f"flow table for {link[1]} {link[0]}link lists "
+                    f"{len(have or ())} flows, live set has {len(flows)}",
+                    provenance=self.current_label())
+        for link in table:
+            if link not in expected:
+                self.record(
+                    "bandwidth_table",
+                    f"flow table keeps {link[1]} {link[0]}link with no live "
+                    f"flows crossing it",
+                    provenance=self.current_label())
+
     def check_flow_conservation(self, model: Any) -> None:
         """Sum of allocated rates on every access link <= its capacity."""
         load: Dict[tuple, float] = {}

@@ -70,7 +70,7 @@ def test_two_flow_shared_uplink_with_zero_rate_assignment_does_not_crash():
     sim = Simulator()
     bw = BandwidthModel(sim)
     forced = {"zero": True}
-    original = BandwidthModel._max_min_fair_rates
+    original = BandwidthModel._allocate_rates
 
     def patched(self, transfers):
         rates = original(self, transfers)
@@ -78,7 +78,7 @@ def test_two_flow_shared_uplink_with_zero_rate_assignment_does_not_crash():
             rates[-1] = 0.0  # the shared uplink left nothing for the last flow
         return rates
 
-    bw._max_min_fair_rates = patched.__get__(bw, BandwidthModel)
+    bw._allocate_rates = patched.__get__(bw, BandwidthModel)
     bw.set_capacity("A", 8_000_000, None)
     healthy = bw.transfer("A", "B", 1_000_000)
     stalled = bw.transfer("A", "C", 1_000_000)
@@ -99,12 +99,12 @@ def test_two_flow_shared_uplink_with_zero_rate_assignment_does_not_crash():
 def test_all_flows_zero_rate_schedules_no_tick_and_recovers():
     sim = Simulator()
     bw = BandwidthModel(sim)
-    bw._max_min_fair_rates = (lambda transfers: [0.0] * len(transfers))
+    bw._allocate_rates = (lambda transfers: [0.0] * len(transfers))
     bw.set_capacity("A", 8_000_000, None)
     stalled = bw.transfer("A", "B", 1_000_000)  # must not raise ValueError
     assert stalled.rate_bps == 0.0
     assert sim.pending_events == 0  # no completion tick for a fully stalled set
-    del bw._max_min_fair_rates  # capacity "frees": restore the real allocator
+    del bw._allocate_rates  # capacity "frees": restore the real allocator
     bw._reallocate()
     sim.run()
     assert stalled.done.result() == pytest.approx(1.0)
@@ -132,6 +132,97 @@ def test_transfer_progress_and_duration_accounting():
     sim.run(until=1.0)
     # Trigger a progress update by starting another flow at t = 1 s.
     bw.transfer("A", "C", 1)
-    assert transfer.bytes_transferred == pytest.approx(1_000_000, rel=0.01)
+    assert transfer.bytes_transferred() == pytest.approx(1_000_000, rel=0.01)
     assert transfer.duration_so_far(sim.now) == pytest.approx(1.0)
     assert transfer.duration_so_far(0.5) == pytest.approx(0.5)
+
+
+@pytest.mark.parametrize("kernel", ["wheel", "heap"])
+def test_bytes_transferred_accrues_between_rate_recomputes(kernel):
+    """Regression: the settled byte count only moves when rates change.
+
+    A flow cruising at a steady rate saw ``bytes_transferred()`` stuck at
+    the value of the *last* recomputation — stale by up to a whole
+    completion interval.  Passing ``now`` extrapolates along the current
+    rate from the last settlement and clamps at the transfer size.
+    """
+    sim = Simulator(0, kernel=kernel)
+    bw = BandwidthModel(sim)
+    bw.set_capacity("A", 8_000_000, None)  # 1 MB/s
+    transfer = bw.transfer("A", "B", 2_000_000)
+    sim.run(until=1.0)
+    # No rate change since t = 0: the settled value is the stale zero ...
+    assert transfer.bytes_transferred() == 0.0
+    # ... while the time-aware form accrues along the allocated rate.
+    assert transfer.bytes_transferred(sim.now) == pytest.approx(1_000_000)
+    sim.run(until=1.5)
+    assert transfer.bytes_transferred(sim.now) == pytest.approx(1_500_000)
+    sim.run()
+    assert transfer.done.result() == pytest.approx(2.0)
+    assert transfer.bytes_transferred(sim.now) == transfer.total_bytes
+    # Extrapolating past completion clamps instead of overshooting.
+    assert transfer.bytes_transferred(sim.now + 60.0) == transfer.total_bytes
+
+
+@pytest.mark.parametrize("kernel", ["wheel", "heap"])
+def test_cancellation_from_completion_callback_mid_recompute(kernel):
+    """A completion callback cancelling another flow re-enters _reallocate.
+
+    The outer recomputation's partition pass has already run when the
+    future's callbacks fire; the nested cancel must not corrupt the flow
+    table, double-count, or strand the bystander flow.
+    """
+    sim = Simulator(0, kernel=kernel)
+    bw = BandwidthModel(sim)
+    bw.set_capacity("A", 8_000_000, None)
+    short = bw.transfer("A", "B", 500_000)
+    victim = bw.transfer("A", "C", 4_000_000)
+    bystander = bw.transfer("A", "D", 4_000_000)
+    short.done.add_done_callback(lambda fut: bw.cancel_transfer(victim))
+    sim.run()
+    assert short.done.done() and not short.done.cancelled()
+    assert victim.done.cancelled()
+    assert bystander.done.done() and not bystander.done.cancelled()
+    assert bw.completed == 2 and bw.preemptions == 1
+    assert bw.active_transfers == 0
+    assert not bw._flows_on_link  # nested removal left no stale adjacency
+    assert bw.bytes_completed == short.total_bytes + bystander.total_bytes
+
+
+@pytest.mark.parametrize("kernel", ["wheel", "heap"])
+def test_zero_byte_transfer_completes_immediately(kernel):
+    sim = Simulator(0, kernel=kernel)
+    bw = BandwidthModel(sim)
+    bw.set_capacity("A", 8_000_000, None)
+    empty = bw.transfer("A", "B", 0)
+    assert empty.done.done() and empty.done.result() == sim.now
+    assert bw.completed == 1
+    assert bw.active_transfers == 0  # never entered the allocation set
+    assert empty.bytes_transferred() == 0.0
+    assert empty.bytes_transferred(5.0) == 0.0  # nothing to extrapolate
+    # A zero-byte transfer must not disturb concurrent flows' rates.
+    flow = bw.transfer("A", "C", 1_000_000)
+    bw.transfer("A", "D", 0)
+    assert flow.rate_bps == pytest.approx(8_000_000)
+    sim.run()
+    assert bw.completed == 3
+
+
+@pytest.mark.parametrize("kernel", ["wheel", "heap"])
+def test_simultaneous_completions_resolve_in_one_deterministic_tick(kernel):
+    """Two identical flows finish at the same instant on both kernels.
+
+    One completion tick must retire both (bit-equal finish times, no
+    zero-length follow-up interval), and the tie-break — partition order =
+    start order — is the same under the wheel and the heap.
+    """
+    sim = Simulator(0, kernel=kernel)
+    bw = BandwidthModel(sim)
+    bw.set_capacity("A", 8_000_000, None)
+    first = bw.transfer("A", "B", 1_000_000)
+    second = bw.transfer("A", "C", 1_000_000)
+    sim.run()
+    assert first.done.result() == second.done.result()  # exact, not approx
+    assert first.done.result() == pytest.approx(2.0)
+    assert bw.completed == 2 and bw.active_transfers == 0
+    assert not bw._flows_on_link

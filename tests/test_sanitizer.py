@@ -201,7 +201,7 @@ def test_overcommitted_link_allocation_is_caught():
     model.set_capacity("10.0.0.1", 1_000_000, 1_000_000)
     model.set_capacity("10.0.0.2", 1_000_000, 1_000_000)
     # Corrupt the allocator: it hands every flow far more than any link has.
-    model._max_min_fair_rates = lambda transfers: [5_000_000.0] * len(transfers)
+    model._allocate_rates = lambda transfers: [5_000_000.0] * len(transfers)
     model.transfer("10.0.0.1", "10.0.0.2", 1_000_000)
     assert san.counts.get("bandwidth") == 2  # uplink of src, downlink of dst
     assert "against capacity" in san.violations[0].detail
