@@ -478,7 +478,9 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
                        trace_out: Optional[str] = None, profile: bool = False,
                        log_level: str = "INFO",
                        bw_alloc: str = "max-min",
-                       bw_global: bool = False) -> dict:
+                       bw_global: bool = False,
+                       gc_policy: str = "tuned",
+                       store_caches: bool = True) -> dict:
     """Run the flagship Chord-under-churn scenario and return the report dict.
 
     ``join_window`` and ``settle`` default to values scaled with the ring
@@ -505,7 +507,7 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
         join_window=join_window, settle=settle, ctl_shards=ctl_shards,
         sanitize=sanitize, metrics=metrics, trace_out=trace_out,
         profile=profile, log_level=log_level, bw_alloc=bw_alloc,
-        bw_global=bw_global)
+        bw_global=bw_global, gc_policy=gc_policy, store_caches=store_caches)
     sim, job = deployment.sim, deployment.job
 
     def _owner(job, key):
@@ -531,7 +533,7 @@ def run_chord_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int =
     # Run until the measured workload drains (lookups take several RTTs each,
     # so a fixed horizon would truncate the stream); a hard cap bounds runaway.
     hard_cap = deployment.measure_start + lookups * (spacing + 30.0) + 300.0
-    harness.drain(sim, driver, hard_cap)
+    harness.drain(sim, driver, hard_cap, deployment=deployment)
 
     report = harness.base_report("chord", deployment, bits=bits)
     report["under_churn"] = harness.summarise(probe_results) if probe_results else None

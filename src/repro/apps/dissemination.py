@@ -249,7 +249,9 @@ def run_dissemination_scenario(nodes: int = 50, hosts: Optional[int] = None,
                                profile: bool = False,
                                log_level: str = "INFO",
                                bw_alloc: str = "max-min",
-                               bw_global: bool = False) -> dict:
+                               bw_global: bool = False,
+                               gc_policy: str = "tuned",
+                               store_caches: bool = True) -> dict:
     """Run the chunk-swarming workload and return the report dict.
 
     Every non-seed node is one measured operation: its latency is the time
@@ -270,7 +272,7 @@ def run_dissemination_scenario(nodes: int = 50, hosts: Optional[int] = None,
         join_window=join_window, settle=settle, ctl_shards=ctl_shards,
         sanitize=sanitize, metrics=metrics, trace_out=trace_out,
         profile=profile, log_level=log_level, bw_alloc=bw_alloc,
-        bw_global=bw_global)
+        bw_global=bw_global, gc_policy=gc_policy, store_caches=store_caches)
     sim, job = deployment.sim, deployment.job
 
     horizon = deployment.measure_start + max(120.0, 0.02 * chunks * nodes)
@@ -287,7 +289,7 @@ def run_dissemination_scenario(nodes: int = 50, hosts: Optional[int] = None,
 
     driver = Process(sim, _wait_for_swarm(), name="workload.swarm-wait")
     driver.start()
-    harness.drain(sim, driver, horizon)
+    harness.drain(sim, driver, horizon, deployment=deployment)
 
     apps = [a for a in harness.joined_apps(job) if not a.is_seed]
     seeds = [a for a in harness.joined_apps(job) if a.is_seed]

@@ -283,7 +283,9 @@ def run_gossip_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
                         trace_out: Optional[str] = None, profile: bool = False,
                         log_level: str = "INFO",
                         bw_alloc: str = "max-min",
-                        bw_global: bool = False) -> dict:
+                        bw_global: bool = False,
+                        gc_policy: str = "tuned",
+                        store_caches: bool = True) -> dict:
     """Run the epidemic-broadcast workload and return the report dict.
 
     ``broadcasts`` messages are published from random live nodes once churn
@@ -306,7 +308,7 @@ def run_gossip_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
         join_window=join_window, settle=settle, ctl_shards=ctl_shards,
         sanitize=sanitize, metrics=metrics, trace_out=trace_out,
         profile=profile, log_level=log_level, bw_alloc=bw_alloc,
-        bw_global=bw_global)
+        bw_global=bw_global, gc_policy=gc_policy, store_caches=store_caches)
     sim, job = deployment.sim, deployment.job
 
     published: List[Tuple[str, float]] = []
@@ -327,7 +329,7 @@ def run_gossip_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
     driver = Process(sim, _publish_stream(), name="workload.publish")
     driver.start(delay=deployment.measure_start)
     horizon = deployment.measure_start + broadcasts * spacing + eval_window
-    harness.drain(sim, driver, horizon)
+    harness.drain(sim, driver, horizon, deployment=deployment)
     sim.run(until=horizon)
 
     # Evaluate coverage over the members that are live (and joined) now —

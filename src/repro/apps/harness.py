@@ -36,6 +36,7 @@ import hashlib
 import json
 import math
 import sys
+import time
 from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional
 
@@ -140,7 +141,18 @@ def summarise(results: List[OpResult]) -> dict:
 DIGEST_EXCLUDED_KEYS = frozenset({"kernel", "ctl_shards", "control_plane",
                                   "testbed", "sanitizer",
                                   "metrics", "trace", "profile",
-                                  "flight_recorder", "bw_alloc"})
+                                  "flight_recorder", "bw_alloc",
+                                  "gc", "phase_wall"})
+
+
+def deterministic_report_view(report: dict) -> dict:
+    """The report minus its :data:`DIGEST_EXCLUDED_KEYS` sections.
+
+    What is left must be byte-identical for the same seed whatever the
+    execution mechanics look like — kernel choice, shard count,
+    observability flags, GC policy, wall-clock phase attribution.
+    """
+    return {k: v for k, v in report.items() if k not in DIGEST_EXCLUDED_KEYS}
 
 
 def report_digest(report: dict) -> str:
@@ -151,7 +163,7 @@ def report_digest(report: dict) -> str:
     the digest asserts *workload-level* equality, which must hold whatever
     the control plane looks like.
     """
-    data = {k: v for k, v in report.items() if k not in DIGEST_EXCLUDED_KEYS}
+    data = deterministic_report_view(report)
     encoded = json.dumps(data, sort_keys=True, default=str).encode("utf-8")
     return hashlib.sha256(encoded).hexdigest()[:16]
 
@@ -213,6 +225,14 @@ class Deployment:
     bw_alloc: str = "max-min"
     #: ``True`` when ``--bw-global`` forced brute-force recomputation
     bw_global: bool = False
+    #: GC discipline (:mod:`repro.sim.gcpolicy`), or ``None`` for ``off``
+    gc_policy: Optional[object] = None
+    #: wall seconds per phase — ``deploy`` (substrate build + job start),
+    #: ``run`` (drain slices before ``measure_start``: joins, churn,
+    #: settling) and ``drain`` (slices from ``measure_start`` on: the
+    #: measured workload).  Filled by :func:`deploy` and :func:`drain`;
+    #: digest-excluded ``phase_wall`` report section.
+    phase_wall: Optional[dict] = None
 
 
 def scaled_windows(nodes: int, join_window: Optional[float],
@@ -249,7 +269,8 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
            sanitize: bool = False, metrics: bool = False,
            trace_out: Optional[str] = None, profile: bool = False,
            log_level: str = "INFO", bw_alloc: str = "max-min",
-           bw_global: bool = False) -> Deployment:
+           bw_global: bool = False, gc_policy: str = "off",
+           store_caches: bool = True) -> Deployment:
     """Build the substrate, register daemons, submit and start the job.
 
     ``testbed`` names the environment preset (:mod:`repro.testbeds`) the
@@ -276,8 +297,19 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
     connected-component recomputation (brute-force full recompute on every
     flow change) — for the default ``max-min`` the two recomputation modes
     are bit-identical, so only the allocator *choice* can move digests.
+    ``gc_policy`` selects the deployment's garbage-collection discipline
+    (:mod:`repro.sim.gcpolicy`: ``off`` / ``tuned`` / ``manual``) and
+    ``store_caches`` is the kill switch for the controller store's memoized
+    host/placement views — both are pure execution mechanics, asserted
+    digest-neutral by tests.
     """
+    wall_started = time.perf_counter()  # det: ignore[DET102] -- phase-wall attribution, digest-excluded
+    policy = None
+    if gc_policy != "off":
+        from repro.sim.gcpolicy import GCPolicy
+        policy = GCPolicy(gc_policy).engage()
     sim = Simulator(seed, kernel=kernel)
+    sim._gcpolicy = policy
     sanitizer = None
     if sanitize:
         from repro.sim.sanitizer import Sanitizer
@@ -301,7 +333,11 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
     if sanitizer is not None:
         sanitizer.watch_network(network)
 
-    controller = Controller(sim, network, seed=seed, shards=ctl_shards)
+    if policy is not None and observability is not None:
+        # Explicit-collect pauses show up as a profiler site (--profile).
+        policy.profiler = observability.profiler
+    controller = Controller(sim, network, seed=seed, shards=ctl_shards,
+                            store_caches=store_caches)
     slots = max(2, math.ceil(nodes / host_count) + 2)
     for ip in ips:
         controller.register_daemon(
@@ -328,6 +364,12 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
     manager = controller.churn_managers.get(job.job_id)
     if manager is not None and manager.actions:
         churn_end = max(warmup_end, max(a.time for a in manager.actions))
+    if policy is not None:
+        # Everything alive now survives the whole run — freeze it out of
+        # every future collection (and go fully manual if asked).
+        policy.after_deploy()
+    phase_wall = {"deploy": time.perf_counter() - wall_started,  # det: ignore[DET102] -- phase-wall attribution, digest-excluded
+                  "run": 0.0, "drain": 0.0}
     return Deployment(sim=sim, network=network, topology=built.topology,
                       controller=controller, job=job, nodes=nodes,
                       host_count=host_count, seed=seed, kernel=kernel,
@@ -337,7 +379,8 @@ def deploy(name: str, app_factory: Callable, nodes: int, hosts: Optional[int] = 
                       warmup_end=warmup_end, churn_end=churn_end,
                       measure_start=churn_end + settle, sanitizer=sanitizer,
                       observability=observability, trace_out=trace_out,
-                      bw_alloc=bw_alloc, bw_global=bw_global)
+                      bw_alloc=bw_alloc, bw_global=bw_global,
+                      gc_policy=policy, phase_wall=phase_wall)
 
 
 # -------------------------------------------------------------------- drivers
@@ -380,15 +423,34 @@ def lookup_stream(sim: Simulator, job: Job, count: int, spacing: float, bits: in
         yield spacing
 
 
-def drain(sim: Simulator, driver: Process, hard_cap: float, step: float = 60.0) -> None:
+def drain(sim: Simulator, driver: Process, hard_cap: float, step: float = 60.0,
+          deployment: Optional[Deployment] = None) -> None:
     """Run the simulation until ``driver`` finishes (bounded by ``hard_cap``).
+
+    The loop's ``step``-sized slices are deterministic sim-time points: the
+    manual GC policy runs its explicit collects between them (never inside
+    event execution), and when ``deployment`` is given each slice's wall
+    time is attributed to the ``run`` phase (slices starting before
+    ``measure_start``: joins, churn, settling) or the ``drain`` phase (the
+    measured workload) — attribution only observes the slices the loop
+    already made, so execution and digests are untouched.
 
     On a deadline overrun (the driver still pending at ``hard_cap``) the
     flight recorder — when installed — dumps the last ring entries to
     stderr, so a hung workload leaves its final dispatches behind.
     """
+    mark = deployment.measure_start if deployment is not None else 0.0
+    walls = deployment.phase_wall if deployment is not None else None
+    policy = sim._gcpolicy
     while not driver.done.done() and sim.now < hard_cap:
+        slice_start = sim.now
+        wall_started = time.perf_counter()  # det: ignore[DET102] -- phase-wall attribution, digest-excluded
         sim.run(until=min(hard_cap, sim.now + step))
+        if walls is not None:
+            phase = "run" if slice_start < mark else "drain"
+            walls[phase] += time.perf_counter() - wall_started  # det: ignore[DET102] -- phase-wall attribution, digest-excluded
+        if policy is not None:
+            policy.checkpoint()
     if not driver.done.done():
         obs = getattr(sim, "_obs", None)
         if obs is not None:
@@ -451,6 +513,18 @@ def base_report(scenario: str, deployment: Deployment, bits: Optional[int] = Non
         "log_records_dropped": job.stats.log_records_dropped,
         "control_plane": controller.control_plane_status(),
     }
+    if deployment.phase_wall is not None:
+        # Digest-excluded: wall-clock attribution (deploy vs run vs drain),
+        # the scale bench's per-phase columns.
+        report["phase_wall"] = {phase: round(seconds, 3)
+                                for phase, seconds in deployment.phase_wall.items()}
+    policy = deployment.gc_policy
+    if policy is not None:
+        # Restore the interpreter's ambient GC configuration before
+        # reporting; the section (digest-excluded) records what the policy
+        # did — freeze size, explicit collects, pause wall.
+        policy.disengage()
+        report["gc"] = policy.section()
     if deployment.sanitizer is not None:
         # Digest-excluded (like kernel/control_plane): the sanitizer reports
         # on execution mechanics, and turning it on must not change results.

@@ -510,7 +510,9 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
                         trace_out: Optional[str] = None, profile: bool = False,
                         log_level: str = "INFO",
                         bw_alloc: str = "max-min",
-                        bw_global: bool = False) -> dict:
+                        bw_global: bool = False,
+                        gc_policy: str = "tuned",
+                        store_caches: bool = True) -> dict:
     """Run Pastry under (optional) churn and return the report dict."""
     from repro.apps import harness
     from repro.sim.process import Process
@@ -526,7 +528,7 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
         join_window=join_window, settle=settle, ctl_shards=ctl_shards,
         sanitize=sanitize, metrics=metrics, trace_out=trace_out,
         profile=profile, log_level=log_level, bw_alloc=bw_alloc,
-        bw_global=bw_global)
+        bw_global=bw_global, gc_policy=gc_policy, store_caches=store_caches)
     sim, job = deployment.sim, deployment.job
 
     def _owner(job, key):
@@ -548,7 +550,7 @@ def run_pastry_scenario(nodes: int = 50, hosts: Optional[int] = None, seed: int 
     driver.start(delay=deployment.measure_start)
 
     hard_cap = deployment.measure_start + lookups * (spacing + 30.0) + 300.0
-    harness.drain(sim, driver, hard_cap)
+    harness.drain(sim, driver, hard_cap, deployment=deployment)
 
     report = harness.base_report("pastry", deployment, bits=bits)
     report["workload"] = {"base_bits": base_bits, "digits": bits // base_bits,

@@ -129,6 +129,7 @@ BENCH_CSV_COLUMNS = [
     "ctl_shards", "bw_alloc", "seed", "seeds", "jobs",
     "wall_sec", "virtual_time", "events_executed", "events_per_sec",
     "events_per_sec_ci95", "wall_per_virtual_sec", "peak_rss_kb",
+    "wall_deploy_s", "wall_run_s", "wall_drain_s",
     "lookups_issued", "lookups_correct", "success_rate",
     "latency_p50_ms", "latency_p95_ms", "hops_mean",
     "rpc_calls_sent", "rpc_retries", "rpc_timeouts",
@@ -144,6 +145,7 @@ BENCH_CSV_COLUMNS = [
 BENCH_TIMING_COLUMNS = frozenset({
     "wall_sec", "events_per_sec", "events_per_sec_ci95",
     "wall_per_virtual_sec", "peak_rss_kb", "jobs",
+    "wall_deploy_s", "wall_run_s", "wall_drain_s",
     "profile_wall_s", "profile_sites", "profile_top_site", "profile_top_share",
 })
 
@@ -310,6 +312,12 @@ def _bench_scenario_row(spec: registry.ScenarioSpec, kernel: str, nodes: int,
         "churn_crashes": job["churn_crashes"],
         "report_digest": harness.report_digest(report),
     }
+    # Phase wall attribution (deploy vs run vs drain): where the cell's host
+    # time went, not how long the experiment was — digest-excluded upstream.
+    phase = report.get("phase_wall") or {}
+    row["wall_deploy_s"] = phase.get("deploy", "")
+    row["wall_run_s"] = phase.get("run", "")
+    row["wall_drain_s"] = phase.get("drain", "")
     profile = report.get("profile") or {}
     top = profile["top"][0] if profile.get("top") else {}
     row["profile_wall_s"] = profile.get("wall_s", "")
@@ -350,7 +358,8 @@ def _bench_task_row(task: dict) -> dict:
     # Meaningful per cell only with fresh workers (scale mode); in a serial
     # or shared-worker run this is the process's cumulative high-water mark.
     row["peak_rss_kb"] = _peak_rss_kb()
-    for column in ("profile_wall_s", "profile_sites",
+    for column in ("wall_deploy_s", "wall_run_s", "wall_drain_s",
+                   "profile_wall_s", "profile_sites",
                    "profile_top_site", "profile_top_share"):
         row.setdefault(column, "")
     return row
@@ -392,7 +401,8 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
               hosts_list: Optional[List[Optional[int]]] = None,
               ctl_shards: int = 1, testbed: str = "transit-stub",
               seeds: int = 1, jobs: int = 1, sanitize: bool = False,
-              profile: bool = False) -> dict:
+              profile: bool = False, gc_policy: str = "tuned",
+              store_caches: bool = True) -> dict:
     """Sweep the scenario grid and the kernel microbenchmark; return the summary.
 
     For every ``(nodes, hosts, churn_rate)`` cell the scenario runs once per
@@ -438,7 +448,9 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
                         kwargs = dict(nodes=nodes, hosts=hosts, seed=seed + offset,
                                       churn_script=script, kernel=kernel,
                                       ctl_shards=ctl_shards, testbed=testbed,
-                                      sanitize=sanitize, profile=profile)
+                                      sanitize=sanitize, profile=profile,
+                                      gc_policy=gc_policy,
+                                      store_caches=store_caches)
                         if spec.ops_param is not None:
                             kwargs[spec.ops_param] = lookups
                         tasks.append({"kind": "scenario", "workload": workload,
@@ -508,6 +520,8 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
             "micro_duration": micro_duration,
             "sanitize": sanitize,
             "profile": profile,
+            "gc_policy": gc_policy,
+            "store_caches": store_caches,
         },
         "rows": rows,
         "speedups": _bench_speedups(rows),
@@ -519,17 +533,58 @@ def run_bench(nodes_list: List[int], churn_rates: List[float],
 # --------------------------------------------------------------------- scale
 #: default node counts of the large-deployment profile (``bench --scale``)
 DEFAULT_SCALE_NODES = [1000, 5000, 10000]
-#: fixed windows for scale cells: unlike the grid bench (whose windows scale
-#: with the ring size), every scale cell joins over the same 30 s and
-#: settles for the same 20 s, so a 10k-node cell measures per-event and
-#: per-node overhead rather than a proportionally longer experiment
+#: base windows for scale cells at the reference size (1k nodes); unlike the
+#: grid bench (whose windows scale linearly with the ring size), scale cells
+#: grow these only with log10 of the node count — see :func:`scale_windows` —
+#: so a 10k-node cell measures per-event and per-node overhead rather than a
+#: proportionally longer experiment, while the join wave still has time to
+#: stabilise O(log N) ring state per node
 SCALE_JOIN_WINDOW = 30.0
 SCALE_SETTLE = 20.0
+#: node count whose windows are exactly the base values above
+SCALE_REFERENCE_NODES = 1000
+
+
+def scale_windows(nodes: int) -> tuple:
+    """``(join_window, settle)`` for one scale cell, growing with log10(N).
+
+    Chord's per-join stabilisation work is O(log N) (successor/finger
+    repair), so a window fixed at the 1k-node value starves large rings:
+    joins pile up faster than pointers repair and measured success craters
+    (0.47 at 1k fell to 0.22 at 5k+ with flat 30 s/20 s windows).  Growing
+    the windows by ``1 + log10(N / 1000)`` — 1k: 30/20, 5k: ~51/34,
+    10k: 60/40 — keeps the *per-node* join pressure comparable across the
+    sweep without reverting to the grid bench's linear windows, which would
+    turn a 10k cell into a 10x-longer experiment and hide per-event cost.
+    """
+    factor = max(1.0, 1.0 + math.log10(max(1, nodes) / SCALE_REFERENCE_NODES))
+    return (round(SCALE_JOIN_WINDOW * factor, 3),
+            round(SCALE_SETTLE * factor, 3))
+
+
+def scale_efficiency(rows: List[dict]) -> Optional[float]:
+    """events/sec at the largest node count over events/sec at the smallest.
+
+    The machine-independent flatness number ``bench --scale`` exists to
+    produce: 1.0 means per-event cost is constant in N, 0.6 means events at
+    the largest scale cost ~1.67x what they cost at the smallest.  ``None``
+    when the sweep has fewer than two distinct node counts.
+    """
+    by_nodes = {row["nodes"]: row["events_per_sec"]
+                for row in rows if row.get("row_type") == "scale"}
+    if len(by_nodes) < 2:
+        return None
+    smallest, largest = min(by_nodes), max(by_nodes)
+    if not by_nodes[smallest]:
+        return None
+    return round(by_nodes[largest] / by_nodes[smallest], 4)
 
 
 def run_scale_bench(scales: Optional[List[int]] = None, jobs: int = 1,
                     seed: int = 0, lookups: int = 100, kernel: str = "wheel",
-                    testbed: str = "transit-stub", quiet: bool = False) -> dict:
+                    testbed: str = "transit-stub", quiet: bool = False,
+                    gc_policy: str = "tuned",
+                    store_caches: bool = True) -> dict:
     """The large-deployment profile: Chord at 1k/5k/10k nodes, peak RSS per cell.
 
     Every cell runs in a *fresh* pool worker (``max_tasks_per_child=1``,
@@ -538,7 +593,12 @@ def run_scale_bench(scales: Optional[List[int]] = None, jobs: int = 1,
     ``row_type="scale"`` and flow through the same CSV schema and
     :func:`check_bench_regression` gate as the grid bench — the committed
     ``BENCH_scale.json`` baseline gates both events/sec (floor) and peak
-    RSS (ceiling).
+    RSS (ceiling) — plus the scale-only ``scale_efficiency`` summary number
+    (largest-over-smallest events/sec ratio) that ``--min-scale-efficiency``
+    gates without needing a baseline file.  Join/settle windows grow with
+    log10(N) per :func:`scale_windows`; ``gc_policy``/``store_caches``
+    forward the perf knobs to every cell (results are byte-identical for
+    any setting — that is what the digest column proves).
     """
     def say(text: str) -> None:
         if not quiet:
@@ -549,10 +609,12 @@ def run_scale_bench(scales: Optional[List[int]] = None, jobs: int = 1,
     scale_list = list(scales) if scales else list(DEFAULT_SCALE_NODES)
     tasks = []
     for nodes in scale_list:
+        join_window, settle = scale_windows(nodes)
         kwargs = dict(nodes=nodes, hosts=None, seed=seed, churn_script=None,
                       kernel=kernel, ctl_shards=1, testbed=testbed,
-                      lookups=lookups, join_window=SCALE_JOIN_WINDOW,
-                      settle=SCALE_SETTLE)
+                      lookups=lookups, join_window=join_window,
+                      settle=settle, gc_policy=gc_policy,
+                      store_caches=store_caches)
         tasks.append({"kind": "scale", "workload": "chord", "kernel": kernel,
                       "nodes": nodes, "churn_rate": 0.0, "seed": seed,
                       "runner_kwargs": kwargs})
@@ -562,9 +624,17 @@ def run_scale_bench(scales: Optional[List[int]] = None, jobs: int = 1,
         row["jobs"] = jobs
         rows.append(row)
         say(f"scale nodes={row['nodes']} hosts={row['hosts']} kernel={kernel}: "
-            f"{row['events_per_sec']:.0f} ev/s, wall={row['wall_sec']:.1f}s, "
+            f"{row['events_per_sec']:.0f} ev/s, wall={row['wall_sec']:.1f}s "
+            f"(deploy={row['wall_deploy_s'] or 0:.1f}s "
+            f"run={row['wall_run_s'] or 0:.1f}s "
+            f"drain={row['wall_drain_s'] or 0:.1f}s), "
+            f"success={row['success_rate']:.3f}, "
             f"peak_rss={row['peak_rss_kb']} KB, "
             f"digest={row['report_digest']}")
+    efficiency = scale_efficiency(rows)
+    if efficiency is not None:
+        say(f"scale efficiency ({max(scale_list)} vs {min(scale_list)} "
+            f"nodes): {efficiency:.3f}")
     return {
         "bench": "scale",
         "config": {
@@ -576,9 +646,14 @@ def run_scale_bench(scales: Optional[List[int]] = None, jobs: int = 1,
             "lookups": lookups,
             "join_window": SCALE_JOIN_WINDOW,
             "settle": SCALE_SETTLE,
+            "windows": {str(nodes): list(scale_windows(nodes))
+                        for nodes in scale_list},
+            "gc_policy": gc_policy,
+            "store_caches": store_caches,
             "jobs": jobs,
         },
         "rows": rows,
+        "scale_efficiency": efficiency,
         "speedups": _bench_speedups(rows),
         "mismatches": [],
     }
@@ -903,6 +978,19 @@ def _add_common_arguments(parser: argparse.ArgumentParser,
     parser.add_argument("--profile", action="store_true",
                         help="attribute wall time and event counts to kernel "
                              "callback sites; prints a top-N table")
+    parser.add_argument("--gc-policy", choices=("off", "tuned", "manual"),
+                        default="tuned",
+                        help="host-interpreter GC discipline (repro.sim."
+                             "gcpolicy): 'tuned' freezes the post-deploy "
+                             "heap and raises collector thresholds, "
+                             "'manual' additionally disables ambient "
+                             "collection and collects at drain checkpoints; "
+                             "results are byte-identical for any setting")
+    parser.add_argument("--no-store-caches", action="store_true",
+                        help="disable the job store's incrementally "
+                             "maintained alive/live sets and bucketed "
+                             "placement (the O(N)-scan kill switch; "
+                             "bit-identical results, slower)")
     parser.add_argument("--log-level", choices=("DEBUG", "INFO", "WARN", "ERROR"),
                         default="INFO",
                         help="minimum severity the job's instances record")
@@ -946,7 +1034,8 @@ def _run_scenario_cli(spec: registry.ScenarioSpec, args: argparse.Namespace) -> 
                   metrics=args.metrics or bool(args.metrics_out),
                   trace_out=args.trace_out, profile=args.profile,
                   log_level=args.log_level, bw_alloc=args.bw_alloc,
-                  bw_global=args.bw_global)
+                  bw_global=args.bw_global, gc_policy=args.gc_policy,
+                  store_caches=not args.no_store_caches)
     kwargs.update(spec.make_kwargs(args))
     report = spec.runner(**kwargs)
     _print_report(report, spec)
@@ -1068,6 +1157,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--scales", type=int, nargs="+",
                        default=DEFAULT_SCALE_NODES, metavar="NODES",
                        help="node counts swept by --scale")
+    bench.add_argument("--min-scale-efficiency", type=float, default=0.0,
+                       metavar="RATIO",
+                       help="fail (exit 4) when the --scale sweep's "
+                            "largest-over-smallest events/sec ratio is "
+                            "below RATIO (baseline-free flatness gate)")
+    bench.add_argument("--gc-policy", choices=("off", "tuned", "manual"),
+                       default="tuned",
+                       help="GC discipline for every scenario/scale cell "
+                            "(digests are unchanged)")
+    bench.add_argument("--no-store-caches", action="store_true",
+                       help="run every scenario/scale cell with the job "
+                            "store's cached alive/live sets disabled "
+                            "(measures the O(N)-scan kill switch; digests "
+                            "are unchanged)")
     bench.add_argument("--bwalloc", action="store_true",
                        help="allocation-step profile instead of the grid: "
                             "flow churn against standalone bandwidth models, "
@@ -1127,7 +1230,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             summary = run_scale_bench(scales=args.scales, jobs=args.jobs,
                                       seed=args.seed, lookups=args.lookups,
                                       kernel=args.kernels[0],
-                                      testbed=args.testbed, quiet=args.quiet)
+                                      testbed=args.testbed, quiet=args.quiet,
+                                      gc_policy=args.gc_policy,
+                                      store_caches=not args.no_store_caches)
         else:
             summary = run_bench(nodes_list=args.nodes, churn_rates=args.churn_rates,
                                 kernels=list(dict.fromkeys(args.kernels)),
@@ -1139,7 +1244,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 ctl_shards=args.ctl_shards,
                                 testbed=args.testbed, seeds=args.seeds,
                                 jobs=args.jobs, sanitize=args.sanitize,
-                                profile=args.profile)
+                                profile=args.profile,
+                                gc_policy=args.gc_policy,
+                                store_caches=not args.no_store_caches)
         write_bench_csv(csv_path, summary["rows"])
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
@@ -1154,6 +1261,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             for line in summary["mismatches"]:
                 print(f"DETERMINISM FAIL: {line}", file=sys.stderr)
             status = 3
+        if args.scale and args.min_scale_efficiency > 0:
+            efficiency = summary.get("scale_efficiency")
+            if efficiency is None:
+                print("PERF REGRESSION: --min-scale-efficiency needs at "
+                      "least two distinct --scales node counts",
+                      file=sys.stderr)
+                status = status or 4
+            elif efficiency < args.min_scale_efficiency:
+                print(f"PERF REGRESSION: scale_efficiency {efficiency:.3f} "
+                      f"is below the required "
+                      f"{args.min_scale_efficiency:.2f} (events/sec at the "
+                      f"largest scale fell too far below the smallest)",
+                      file=sys.stderr)
+                status = status or 4
         if args.bwalloc and args.bwalloc_min_speedup > 0:
             failures = _bwalloc_speedup_failures(summary,
                                                  args.bwalloc_min_speedup)

@@ -370,10 +370,12 @@ class ChurnManager:
         if action.host is not None:
             ips = [self._trace_host_ip(action.host)]
         else:
+            # Both views are already ip-sorted (and memoized on the store);
+            # re-sorting them here was an O(H log H) cost per churn action.
             if action.kind == "fail":
-                pool = sorted(self.controller.alive_host_ips())
+                pool = self.controller.alive_host_ips()
             else:
-                pool = sorted(self.controller.failed_host_ips())
+                pool = self.controller.failed_host_ips()
             count = min(action.resolve_count(len(pool)), len(pool))
             ips = self._host_rng.sample(pool, count) if count > 0 else []
         for ip in ips:
@@ -402,8 +404,9 @@ class ChurnManager:
         ip = self._trace_hosts.get(trace_host)
         if ip is None:
             all_ips = sorted(self.controller.daemon_ips())
+            bound = set(self._trace_hosts.values())
             free = [candidate for candidate in all_ips
-                    if candidate not in self._trace_hosts.values()]
+                    if candidate not in bound]
             if free:
                 ip = self._host_rng.choice(free)
             else:

@@ -133,6 +133,12 @@ class Job:
         #: shared mutable state visible to all instances (e.g. bootstrap ref)
         self.shared: Dict[str, Any] = {}
         self._next_instance_id = 0
+        # Memoized id-sorted live-instance list.  Every death path funnels
+        # through record_stop (controller kills) or the daemon's reap hook
+        # (self-exits, host failures), both of which call _invalidate_live;
+        # the sanitizer cross-checks the cache against a from-scratch
+        # recompute after every control action (check_store_caches).
+        self._live_cache: Optional[List[Any]] = None
 
     # ------------------------------------------------------------- bookkeeping
     def allocate_instance_id(self) -> int:
@@ -155,6 +161,7 @@ class Job:
         self._next_instance_id = max(self._next_instance_id,
                                      placement.instance_id + 1)
         self.stats.instances_started += 1
+        self._live_cache = None
 
     def record_stop(self, instance: Any, failed: bool = False) -> None:
         if instance in self.instances:
@@ -163,17 +170,36 @@ class Job:
             self.stats.instances_failed += 1
         else:
             self.stats.instances_stopped += 1
+        self._live_cache = None
+
+    def _invalidate_live(self) -> None:
+        """Drop the memoized live view (called by every instance-death path)."""
+        self._live_cache = None
 
     # ---------------------------------------------------------------- queries
     def live_instances(self) -> List[Any]:
-        """Instances whose application context is still alive, in id order."""
+        """Instances whose application context is still alive, in id order.
+
+        The list is memoized between liveness changes — callers iterate it
+        on every lookup/control action, so rebuilding per call is an O(N)
+        cost per event at scale.  Callers must not mutate the returned list.
+        """
+        live = self._live_cache
+        if live is None:
+            live = [i for i in self.instances if i.alive]
+            live.sort(key=lambda i: i.instance_id)
+            self._live_cache = live
+        return live
+
+    def _recompute_live_instances(self) -> List[Any]:
+        """From-scratch live view, bypassing the cache (sanitizer cross-check)."""
         live = [i for i in self.instances if i.alive]
         live.sort(key=lambda i: i.instance_id)
         return live
 
     @property
     def live_count(self) -> int:
-        return sum(1 for i in self.instances if i.alive)
+        return len(self.live_instances())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Job #{self.job_id} {self.spec.name} {self.state.value} live={self.live_count}>"

@@ -177,6 +177,10 @@ class Observability:
                 },
             },
             "rpc": rpc,
+            # GC-policy counters (repro.sim.gcpolicy) when a policy is
+            # active: ambient vs explicit collections, freeze size, pauses.
+            **({"gc": deployment.gc_policy.section()}
+               if getattr(deployment, "gc_policy", None) is not None else {}),
             "control_plane": {
                 "shards": [
                     {"name": shard.name,

@@ -136,7 +136,8 @@ class JobStore:
     """
 
     def __init__(self, sim: Simulator, network: Network, seed: Optional[int] = None,
-                 log_queue_depth: int = 4096, log_drain_interval: float = 0.25):
+                 log_queue_depth: int = 4096, log_drain_interval: float = 0.25,
+                 caches: bool = True):
         self.sim = sim
         self.network = network
         self.seed = seed if seed is not None else sim.seed
@@ -161,6 +162,19 @@ class JobStore:
         self.log_queue_depth = log_queue_depth
         self.log_drain_interval = log_drain_interval
         self._rng = substream(self.seed, "controller")
+        # Memoized host views.  The daemon registry and per-daemon liveness
+        # change only on registration and host fail/recover — a handful of
+        # control-plane events per run — while the views are consulted on
+        # every placement, churn action and status call; recomputing them
+        # per call is an O(hosts) (or O(hosts log hosts)) cost per event at
+        # 10k nodes.  ``caches=False`` is the kill switch that restores the
+        # from-scratch recompute everywhere (digest-parity oracle; see
+        # tests/test_store_caches.py), and the sanitizer cross-checks the
+        # cached views after every control action.
+        self.caches_enabled = caches
+        self._alive_daemons_cache: Optional[List[Splayd]] = None
+        self._alive_ips_cache: Optional[List[str]] = None
+        self._failed_ips_cache: Optional[List[str]] = None
 
     # ---------------------------------------------------------------- shards
     def add_shard(self, shard: "CtlShard") -> None:
@@ -215,16 +229,47 @@ class JobStore:
             raise ControllerError(f"daemon already registered for {daemon.ip}")
         self.daemons[daemon.ip] = daemon
         self.daemon_shard[daemon.ip] = shard.name
+        daemon.store = self
+        self._note_host_state_changed()
         shard.stats.daemons_registered += 1
 
+    def _note_host_state_changed(self) -> None:
+        """Drop the memoized host views (registration, host fail/recover)."""
+        self._alive_daemons_cache = None
+        self._alive_ips_cache = None
+        self._failed_ips_cache = None
+
     def alive_daemons(self) -> List[Splayd]:
-        return [d for d in self.daemons.values() if d.alive]
+        """Alive daemons in registration order (memoized; do not mutate)."""
+        if not self.caches_enabled:
+            return [d for d in self.daemons.values() if d.alive]
+        cache = self._alive_daemons_cache
+        if cache is None:
+            cache = [d for d in self.daemons.values() if d.alive]
+            self._alive_daemons_cache = cache
+        return cache
 
     def alive_host_ips(self) -> List[str]:
-        return sorted(ip for ip, daemon in self.daemons.items() if daemon.alive)
+        """Sorted alive-host ips (memoized; do not mutate)."""
+        if not self.caches_enabled:
+            return sorted(ip for ip, daemon in self.daemons.items() if daemon.alive)
+        cache = self._alive_ips_cache
+        if cache is None:
+            cache = sorted(ip for ip, daemon in self.daemons.items() if daemon.alive)
+            self._alive_ips_cache = cache
+        return cache
 
     def failed_host_ips(self) -> List[str]:
-        return sorted(ip for ip, daemon in self.daemons.items() if not daemon.alive)
+        """Sorted failed-host ips (memoized; do not mutate)."""
+        if not self.caches_enabled:
+            return sorted(ip for ip, daemon in self.daemons.items()
+                          if not daemon.alive)
+        cache = self._failed_ips_cache
+        if cache is None:
+            cache = sorted(ip for ip, daemon in self.daemons.items()
+                           if not daemon.alive)
+            self._failed_ips_cache = cache
+        return cache
 
     def host_alive(self, ip: str) -> bool:
         daemon = self.daemons.get(ip)
@@ -293,6 +338,8 @@ class JobStore:
         that later fails leaves a gap instead of letting a future plan hand
         a live instance's id to a second node.
         """
+        if self.caches_enabled:
+            return self._plan_placements_bucketed(job, count)
         plan: List[Tuple[Splayd, int]] = []
         pending: Dict[str, int] = {}
         for _ in range(count):
@@ -301,6 +348,61 @@ class JobStore:
                 break
             plan.append((daemon, job.allocate_instance_id()))
             pending[daemon.ip] = pending.get(daemon.ip, 0) + 1
+        return plan
+
+    def _plan_placements_bucketed(self, job: Job, count: int) -> List[Tuple[Splayd, int]]:
+        """Load-bucketed planner: same plan as :meth:`_select_daemon`, not O(N) per pick.
+
+        The naive planner rebuilds and re-sorts the full candidate list per
+        instance — O(N·H log H) for a whole-deployment plan, the dominant
+        deploy-phase cost at 10k nodes.  Bucketing daemons by load turns each
+        pick into O(1) amortized: draw from the minimum-load bucket, promote
+        the chosen daemon to the next one.  No simulator event runs between
+        picks, so daemon liveness and true loads cannot shift mid-plan.
+
+        Byte-identical to the naive path by construction: the min-load bucket
+        ip-sorted *is* the naive pool, and ``randrange(len(pool))`` consumes
+        the RNG exactly like ``choice(pool)`` (both make one ``_randbelow``
+        call) — asserted against the naive plan in tests/test_store_caches.py.
+        """
+        plan: List[Tuple[Splayd, int]] = []
+        buckets: Dict[int, List[Splayd]] = {}
+        available = 0
+        for daemon in self.alive_daemons():
+            load = len(daemon.instances)
+            cap = daemon.limits.max_instances
+            if cap is not None and load >= cap:
+                continue
+            buckets.setdefault(load, []).append(daemon)
+            available += 1
+        if not buckets:
+            return plan
+        # Buckets are ip-sorted lazily, the first time they become the
+        # minimum: promotions only ever append *above* the active bucket,
+        # so each bucket is sorted at most once per level pass.
+        dirty = set(buckets)
+        load = min(buckets)
+        rng = self._rng
+        for _ in range(count):
+            if not available:
+                break
+            while load not in buckets:
+                load += 1
+            pool = buckets[load]
+            if load in dirty:
+                pool.sort(key=_daemon_ip)
+                dirty.discard(load)
+            daemon = pool.pop(rng.randrange(len(pool)))
+            if not pool:
+                del buckets[load]
+            available -= 1
+            plan.append((daemon, job.allocate_instance_id()))
+            new_load = load + 1
+            cap = daemon.limits.max_instances
+            if cap is None or new_load < cap:
+                buckets.setdefault(new_load, []).append(daemon)
+                dirty.add(new_load)
+                available += 1
         return plan
 
     def _select_daemon(self, pending: Dict[str, int]) -> Optional[Splayd]:
@@ -319,6 +421,11 @@ class JobStore:
         emptiest = candidates[0][0]
         pool = [daemon for load, daemon in candidates if load == emptiest]
         return self._rng.choice(pool)
+
+
+def _daemon_ip(daemon: Splayd) -> str:
+    """Sort key for placement pools (module-level: no per-sort closure)."""
+    return daemon.ip
 
 
 @dataclass
@@ -441,7 +548,14 @@ class CtlShard:
                     error = outcome
             if error is not None:
                 raise error
+        self._check_caches()
         return started
+
+    def _check_caches(self) -> None:
+        """Sanitizer cross-check of the store's memoized views (if installed)."""
+        san = getattr(self.store.sim, "_san", None)
+        if san is not None:
+            san.check_store_caches(self.store)
 
     def _dispatch(self, daemon: Splayd, commands: List[tuple]) -> List[object]:
         """One batched command round to one daemon (+ stats)."""
@@ -470,6 +584,7 @@ class CtlShard:
                 self.stats.instances_killed += 1
             if error is not None:
                 raise error
+        self._check_caches()
 
     def kill_instance(self, instance: Instance, reason: str = "controller stop",
                       failed: bool = False) -> None:
@@ -498,6 +613,7 @@ class CtlShard:
         self.store.host_state[ip] = "down"
         self.store.host_failures_total += 1
         self.stats.hosts_failed += 1
+        self._check_caches()
         return killed
 
     def recover_host(self, ip: str) -> None:
@@ -515,6 +631,7 @@ class CtlShard:
         self.store.host_state[ip] = "up"
         self.store.host_recoveries_total += 1
         self.stats.hosts_recovered += 1
+        self._check_caches()
 
     # ---------------------------------------------------------------- failure
     def fail(self) -> None:

@@ -140,6 +140,9 @@ class Splayd:
         self.host = Host(ip)
         self.limits = limits or SplaydLimits()
         self.controller: Optional["Controller"] = None
+        #: set by JobStore.add_daemon — lets fail/recover invalidate the
+        #: store's memoized alive/failed host views without a lookup
+        self.store: Optional[Any] = None
         self.instances: List[Instance] = []
         self._allocated_ports: set[int] = set()
         self.spawned_total = 0
@@ -216,6 +219,10 @@ class Splayd:
             self._allocated_ports.discard(port)
             socket.close()
             fs.wipe()
+            # Cleanups are the one death path every kill funnels through
+            # (controller stop, host failure, the app's own events.exit()),
+            # so this is where the job's live view goes stale.
+            job._invalidate_live()
 
         context.add_cleanup(_reap)
         try:
@@ -284,6 +291,8 @@ class Splayd:
         if not self.host.alive:
             return 0
         self.host.alive = False
+        if self.store is not None:
+            self.store._note_host_state_changed()
         victims = list(self.instances)
         for instance in victims:
             self.stop_instance(instance, reason=f"host failure: {self.ip}")
@@ -293,6 +302,8 @@ class Splayd:
     def recover(self) -> None:
         """Bring a failed host back (with no instances, like a fresh boot)."""
         self.host.alive = True
+        if self.store is not None:
+            self.store._note_host_state_changed()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Splayd {self.ip} {'up' if self.alive else 'down'} "

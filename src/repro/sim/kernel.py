@@ -180,6 +180,10 @@ class Simulator:
         #: origin-stamping hook (obs tracing only; the sanitizer stamps
         #: through its own note_scheduled when both are installed)
         self._obs_stamp = None
+        #: GC discipline (repro.sim.gcpolicy.GCPolicy) or None — the
+        #: harness's drain loop runs explicit-collect checkpoints through
+        #: this pointer; never consulted on the event hot path
+        self._gcpolicy = None
 
     # ------------------------------------------------------------------ time
     @property

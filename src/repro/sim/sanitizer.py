@@ -19,7 +19,11 @@ directly), cheap observation-only checks run on the hot path:
 * **listener-table consistency** -- after a host is removed, no listener
   entry may keep routing messages to its endpoints;
 * **bandwidth-flow conservation** -- the max-min allocation never hands a
-  link more rate than its capacity.
+  link more rate than its capacity;
+* **store-cache coherence** -- the control plane's memoized alive/failed
+  host views and each job's live-instance cache must equal a from-scratch
+  recompute after every control action (guards the incremental
+  invalidation the O(N)-scan elimination relies on).
 
 Violations are *recorded*, never repaired, and carry event provenance
 (which callback -- and thereby which process or timer -- scheduled the
@@ -271,6 +275,59 @@ class Sanitizer:
                     "bandwidth_table",
                     f"flow table keeps {link[1]} {link[0]}link with no live "
                     f"flows crossing it",
+                    provenance=self.current_label())
+
+    # --------------------------------------------------- control-plane seam
+    def check_store_caches(self, store: Any) -> None:
+        """Every memoized store/job view must equal a from-scratch recompute.
+
+        The placement planner, churn victim selection and harness iteration
+        all trust the incrementally invalidated caches on
+        :class:`~repro.runtime.jobstore.JobStore` and
+        :class:`~repro.core.jobs.Job`; a missed invalidation would steer
+        placement (and thereby the RNG stream) long before any report field
+        looks wrong.  Called by the controller shards after every control
+        action.  Only *populated* caches are compared — an unpopulated cache
+        cannot be stale, and rebuilding it here would hide the very laziness
+        being checked.
+        """
+        daemons = store.daemons
+        cached = store._alive_daemons_cache
+        if cached is not None:
+            expected = [d for d in daemons.values() if d.alive]
+            if cached != expected:
+                self.record(
+                    "store_cache",
+                    f"alive-daemon cache lists {len(cached)} daemons, "
+                    f"recompute finds {len(expected)}",
+                    provenance=self.current_label())
+        cached = store._alive_ips_cache
+        if cached is not None:
+            expected = sorted(ip for ip, d in daemons.items() if d.alive)
+            if cached != expected:
+                self.record(
+                    "store_cache",
+                    f"alive-ip cache lists {len(cached)} hosts, "
+                    f"recompute finds {len(expected)}",
+                    provenance=self.current_label())
+        cached = store._failed_ips_cache
+        if cached is not None:
+            expected = sorted(ip for ip, d in daemons.items() if not d.alive)
+            if cached != expected:
+                self.record(
+                    "store_cache",
+                    f"failed-ip cache lists {len(cached)} hosts, "
+                    f"recompute finds {len(expected)}",
+                    provenance=self.current_label())
+        for job_id in sorted(store.jobs):
+            job = store.jobs[job_id]
+            cached = job._live_cache
+            if cached is not None and cached != job._recompute_live_instances():
+                self.record(
+                    "store_cache",
+                    f"job #{job_id} live-instance cache lists {len(cached)} "
+                    f"instances, recompute finds "
+                    f"{len(job._recompute_live_instances())}",
                     provenance=self.current_label())
 
     def check_flow_conservation(self, model: Any) -> None:

@@ -213,3 +213,48 @@ def test_check_bench_regression_gates_scale_rows_on_peak_rss():
     scenario_bloat = {"rows": [dict(scenario_base, peak_rss_kb=500_000)]}
     assert check_bench_regression(scenario_bloat,
                                   {"rows": [scenario_base]}) == []
+
+
+def test_scale_windows_grow_with_log10_of_the_node_count():
+    from repro.apps.scenarios import (SCALE_JOIN_WINDOW, SCALE_SETTLE,
+                                      scale_windows)
+
+    # The 1k reference cell keeps the historical fixed windows...
+    assert scale_windows(1000) == (SCALE_JOIN_WINDOW, SCALE_SETTLE)
+    # ...and a 10x ring gets exactly one extra decade: doubled windows.
+    assert scale_windows(10000) == (2 * SCALE_JOIN_WINDOW, 2 * SCALE_SETTLE)
+    join_5k, settle_5k = scale_windows(5000)
+    assert SCALE_JOIN_WINDOW < join_5k < 2 * SCALE_JOIN_WINDOW
+    assert SCALE_SETTLE < settle_5k < 2 * SCALE_SETTLE
+    # Sub-reference sizes never shrink below the base windows.
+    assert scale_windows(100) == (SCALE_JOIN_WINDOW, SCALE_SETTLE)
+
+
+def test_scale_efficiency_is_largest_over_smallest_events_per_sec():
+    from repro.apps.scenarios import scale_efficiency
+
+    rows = [
+        {"row_type": "scale", "nodes": 1000, "events_per_sec": 50_000.0},
+        {"row_type": "scale", "nodes": 5000, "events_per_sec": 40_000.0},
+        {"row_type": "scale", "nodes": 10000, "events_per_sec": 35_000.0},
+        {"row_type": "scenario", "nodes": 50, "events_per_sec": 1.0},
+    ]
+    assert scale_efficiency(rows) == pytest.approx(0.7)
+    assert scale_efficiency(rows[:1]) is None  # one size: no ratio
+    assert scale_efficiency([]) is None
+
+
+def test_bench_rows_carry_phase_wall_columns():
+    from repro.apps.scenarios import run_scale_bench
+
+    summary = run_scale_bench(scales=[30], jobs=1, seed=3, lookups=5,
+                              quiet=True)
+    (row,) = summary["rows"]
+    for column in ("wall_deploy_s", "wall_run_s", "wall_drain_s"):
+        assert column in BENCH_CSV_COLUMNS
+        assert isinstance(row[column], float)
+    # Phase attribution covers (almost) the whole cell wall: the slices are
+    # the same sim.run calls the cell times, so nothing big goes missing.
+    assert row["wall_deploy_s"] + row["wall_run_s"] + row["wall_drain_s"] <= \
+        row["wall_sec"] * 1.05
+    assert summary["scale_efficiency"] is None  # single size: no ratio

@@ -4,6 +4,7 @@ between simulations) and across the two kernel implementations."""
 
 import json
 
+from repro.apps.harness import DIGEST_EXCLUDED_KEYS
 from repro.apps.scenarios import run_chord_scenario
 from repro.core.jobs import JobSpec
 from repro.net.network import Network
@@ -16,7 +17,10 @@ SCENARIO = dict(nodes=12, hosts=8, seed=11, churn=True, lookups=15,
 
 
 def _normalised(report: dict) -> str:
-    data = {k: v for k, v in report.items() if k != "kernel"}
+    # Strip the same sections the report digest excludes: they carry
+    # machine-/wall-clock-dependent numbers (gc pauses, phase walls,
+    # kernel name) by design — everything else must be byte-identical.
+    data = {k: v for k, v in report.items() if k not in DIGEST_EXCLUDED_KEYS}
     return json.dumps(data, sort_keys=True, default=str)
 
 

@@ -102,7 +102,9 @@ def test_plot_scale_reads_only_scale_rows_and_derives_ratios(tmp_path, capsys):
     assert "1000" in out and "5000" in out
     # 200000/1000 = 200 KB/node at 1k; 800000/5000 = 160 KB/node at 5k
     assert "KB-per-node ratio: 0.80x" in out
-    assert "events/sec ratio: 0.90x" in out
+    assert "events/sec ratio (scale_efficiency): 0.90x" in out
+    # 1e6/50000 = 20 us/event at 1k; 1e6/45000 = 22.22 at 5k
+    assert "per-event cost: 20.00 -> 22.22 us/event" in out
 
 
 def test_plot_scale_rejects_csv_without_scale_rows(tmp_path, capsys):
